@@ -1,0 +1,63 @@
+"""Ablation — 2-bit encoded partitions vs text, and superkmer compaction.
+
+Paper claims quantified here:
+
+* §III-B: "Our encoded output in the MSP step cuts the storage space to
+  about 1/4 of the size of the non-encoded counterpart".
+* §III-B: a superkmer compacts M adjacent kmers from O(MK) to O(M+K)
+  space — the reason MSP output stays near the input size instead of
+  blowing up by a factor of K.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report, run_once
+
+from repro.msp.partitioner import partition_reads
+
+
+def test_encoding_and_compaction_ablation(benchmark, chr14_reads, chr14_config):
+    out = {}
+
+    def compute():
+        res = partition_reads(chr14_reads, chr14_config.k, chr14_config.p,
+                              chr14_config.n_partitions)
+        encoded = sum(b.byte_size_encoded() for b in res.blocks)
+        text = sum(b.byte_size_text() for b in res.blocks)
+        kmer_bases = res.total_kmers() * chr14_config.k  # per-kmer storage
+        superkmer_bases = sum(b.total_bases() for b in res.blocks)
+        out.update(encoded=encoded, text=text, kmer_bases=kmer_bases,
+                   superkmer_bases=superkmer_bases,
+                   input_bases=chr14_reads.total_bases)
+
+    run_once(benchmark, compute)
+
+    ratio = out["encoded"] / out["text"]
+    compaction = out["superkmer_bases"] / out["kmer_bases"]
+    emit_report(
+        "ablation_encoding",
+        "Ablation: partition encoding and superkmer compaction",
+        ["representation", "bytes/bases", "vs baseline"],
+        [
+            ["text partitions (bytes)", out["text"], "1.00"],
+            ["2-bit encoded partitions (bytes)", out["encoded"], f"{ratio:.3f}"],
+            ["per-kmer storage (bases)", out["kmer_bases"], "1.00"],
+            ["superkmer storage (bases)", out["superkmer_bases"],
+             f"{compaction:.3f}"],
+            ["raw input (bases)", out["input_bases"],
+             f"{out['superkmer_bases'] / out['input_bases']:.3f}"],
+        ],
+        notes=(
+            "Paper shapes: encoding cuts partition bytes to ~1/4 of text;\n"
+            "superkmers store far fewer bases than per-kmer output and stay\n"
+            "within a small factor of the raw input."
+        ),
+    )
+
+    # ~1/4 of the text size; per-record framing (3 bytes of length +
+    # extension flags) keeps the measured ratio a little above 0.25.
+    assert 0.24 <= ratio <= 0.35
+    # Superkmer compaction: an order of magnitude below per-kmer storage.
+    assert compaction < 0.2
+    # And within a small factor of the input read bases.
+    assert out["superkmer_bases"] < 4 * out["input_bases"]

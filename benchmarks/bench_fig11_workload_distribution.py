@@ -1,0 +1,87 @@
+"""Fig 11 — workload distribution with co-processing.
+
+Paper (Fig 11): per-processor elapsed times in both steps are close to
+each other (left figure), and the fraction of reads (Step 1) / vertices
+(Step 2) each processor consumed matches the speed-proportional ideal
+(right figure), with hashing matching the ideal more closely than the
+MSP step — in Step 1 the CPU also parses IO, so it computes less.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report, run_once
+
+from repro.hetsim.model import ideal_workload_shares
+from repro.hetsim.transfer import memory_cached_disk
+from repro.hetsim.workloads import simulate_parahash
+
+
+def test_fig11_workload_distribution(benchmark, chr14_reads, chr14_config,
+                                     chr14_workloads):
+    out = {}
+
+    def compute():
+        disk = memory_cached_disk()
+
+        def sim(use_cpu, n_gpus):
+            return simulate_parahash(
+                chr14_reads, chr14_config, use_cpu=use_cpu, n_gpus=n_gpus,
+                disk=disk, precomputed=chr14_workloads,
+            )
+
+        out["cpu_only"] = sim(True, 0)
+        out["gpu_only"] = sim(False, 1)
+        out["co1"] = sim(True, 1)
+        out["co2"] = sim(True, 2)
+
+    run_once(benchmark, compute)
+
+    cpu_only, gpu_only = out["cpu_only"], out["gpu_only"]
+    rows = []
+    checks = []
+    for label, report, n_gpus in (("CPU+1GPU", out["co1"], 1),
+                                  ("CPU+2GPU", out["co2"], 2)):
+        for step_name, step, c_base, g_base in (
+            ("step1", report.step1, cpu_only.step1, gpu_only.step1),
+            ("step2", report.step2, cpu_only.step2, gpu_only.step2),
+        ):
+            ideal = ideal_workload_shares(
+                c_base.elapsed_seconds, g_base.elapsed_seconds, n_gpus
+            )
+            real = step.workload_shares()
+            busy = {n: u.busy_seconds for n, u in step.usage.items()}
+            for device in real:
+                rows.append([
+                    label, step_name, device,
+                    f"{busy[device]:.4f}",
+                    f"{real[device]:.3f}", f"{ideal[device]:.3f}",
+                ])
+                checks.append((label, step_name, device,
+                               real[device], ideal[device]))
+
+    emit_report(
+        "fig11_workload_distribution",
+        "Fig 11: per-device busy time and workload share, real vs ideal",
+        ["config", "step", "device", "busy (s)", "real share", "ideal share"],
+        rows,
+        notes=(
+            "Paper shapes: device busy times are close within a step; real\n"
+            "shares track the speed-proportional ideal, best in hashing."
+        ),
+    )
+
+    # Real share within 0.15 of the ideal everywhere (Fig 11 right).
+    step2_err = []
+    step1_err = []
+    for label, step_name, device, real, ideal in checks:
+        assert abs(real - ideal) < 0.15, (label, step_name, device)
+        (step2_err if step_name == "step2" else step1_err).append(
+            abs(real - ideal)
+        )
+    # Hashing matches the ideal at least as well as Step 1 on average.
+    assert sum(step2_err) / len(step2_err) <= sum(step1_err) / len(step1_err) + 0.02
+    # Busy times of co-processors are balanced within a step (left fig).
+    for report in (out["co1"], out["co2"]):
+        for step in (report.step1, report.step2):
+            busies = [u.busy_seconds for u in step.usage.values()]
+            assert max(busies) < 3.5 * max(min(busies), 1e-9)

@@ -1,0 +1,72 @@
+"""Fig 12 — time breakdown without pipeline vs elapsed time with pipeline.
+
+Paper (Fig 12): comparing the accumulated time of the non-pipelined
+stages (Input + CPU Compute + Output) against the pipelined elapsed
+time, in both steps and on both datasets:
+
+* pipelining significantly improves performance when IO does not
+  dominate (Human Chr14);
+* when IO dominates (Bumblebee), the elapsed time is still cut roughly
+  in half, because input and output overlap each other and computation
+  hides inside the transfer.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report, run_once
+
+from repro.hetsim.device import default_cpu
+from repro.hetsim.pipeline import simulate_step, simulate_step_non_pipelined
+from repro.hetsim.transfer import spinning_disk
+
+
+def test_fig12_pipelining(benchmark, chr14_workloads, bumblebee_workloads):
+    rows = []
+    ratios = {}
+
+    def compute():
+        cpu = default_cpu()
+        # Both datasets stream from disk here (the paper's Fig 12 setup
+        # measures the stages including real disk IO on both datasets;
+        # the memory-cached configuration belongs to Fig 13).
+        for name, workloads, disk in (
+            ("chr14", chr14_workloads, spinning_disk()),
+            ("bumblebee", bumblebee_workloads, spinning_disk()),
+        ):
+            step1, step2 = workloads
+            for step_name, works in (("step1", step1.works),
+                                     ("step2", step2.works)):
+                t_in, t_compute, t_out = simulate_step_non_pipelined(
+                    works, [cpu], disk
+                )
+                pipelined = simulate_step(works, [cpu], disk).elapsed_seconds
+                stage_sum = t_in + t_compute + t_out
+                rows.append([
+                    name, step_name, f"{t_in:.4f}", f"{t_compute:.4f}",
+                    f"{t_out:.4f}", f"{stage_sum:.4f}", f"{pipelined:.4f}",
+                    f"{pipelined / stage_sum:.2f}",
+                ])
+                ratios[(name, step_name)] = pipelined / stage_sum
+
+    run_once(benchmark, compute)
+
+    emit_report(
+        "fig12_pipelining",
+        "Fig 12: non-pipelined stage sum vs pipelined elapsed (CPU, sim s)",
+        ["dataset", "step", "input", "compute", "output", "stage sum",
+         "pipelined", "ratio"],
+        rows,
+        notes=(
+            "Paper shapes: pipelined < stage sum everywhere; on the IO-bound\n"
+            "dataset the saving approaches half (input overlaps output)."
+        ),
+    )
+
+    # Pipelining always helps.
+    assert all(r < 1.0 for r in ratios.values())
+    # Chr14 (compute-bound): meaningful saving in both steps.
+    assert ratios[("chr14", "step1")] < 0.9
+    assert ratios[("chr14", "step2")] < 0.9
+    # Bumblebee (IO-bound): elapsed time around half the stage sum.
+    assert ratios[("bumblebee", "step1")] < 0.75
+    assert ratios[("bumblebee", "step2")] < 0.75

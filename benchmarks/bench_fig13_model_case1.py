@@ -1,0 +1,77 @@
+"""Fig 13 — real vs estimated time, Case 1 (compute-bound).
+
+Paper (Fig 13, Human Chr14 from a memory-cached file, so
+``T_IO << min{T_only_CPU, T_single_GPU}``): the measured elapsed times
+for CPU-only, 1 GPU, 2 GPUs, CPU+1GPU and CPU+2GPU track the Equation
+(2) ideal ``1 / (1/T_CPU_only + N_GPU / T_single_GPU)`` in both steps —
+adding processors keeps improving performance according to their
+speeds.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report, run_once
+
+from repro.hetsim.model import ideal_coprocessing_time
+from repro.hetsim.transfer import memory_cached_disk
+from repro.hetsim.workloads import simulate_parahash
+
+CONFIGS = [
+    ("CPU", True, 0),
+    ("1GPU", False, 1),
+    ("2GPU", False, 2),
+    ("CPU+1GPU", True, 1),
+    ("CPU+2GPU", True, 2),
+]
+
+
+def test_fig13_real_vs_estimated_case1(benchmark, chr14_reads, chr14_config,
+                                       chr14_workloads):
+    reports = {}
+
+    def compute():
+        disk = memory_cached_disk()
+        for label, use_cpu, n_gpus in CONFIGS:
+            reports[label] = simulate_parahash(
+                chr14_reads, chr14_config, use_cpu=use_cpu, n_gpus=n_gpus,
+                disk=disk, precomputed=chr14_workloads,
+            )
+
+    run_once(benchmark, compute)
+
+    rows = []
+    errors = []
+    for step_name in ("step1", "step2"):
+        t_cpu_only = getattr(reports["CPU"], step_name).elapsed_seconds
+        t_single_gpu = getattr(reports["1GPU"], step_name).elapsed_seconds
+        for label, use_cpu, n_gpus in CONFIGS:
+            real = getattr(reports[label], step_name).elapsed_seconds
+            ideal = ideal_coprocessing_time(
+                t_cpu_only, t_single_gpu, n_gpus, use_cpu=use_cpu
+            )
+            err = (real - ideal) / ideal
+            rows.append([step_name, label, f"{real:.4f}", f"{ideal:.4f}",
+                         f"{100 * err:+.1f}%"])
+            errors.append((step_name, label, err))
+
+    emit_report(
+        "fig13_model_case1",
+        "Fig 13: real vs Eq-(2) ideal, Case 1 (memory-cached input)",
+        ["step", "config", "real (s)", "ideal (s)", "error"],
+        rows,
+        notes=(
+            "Paper shape: measured times follow the speed-additive ideal;\n"
+            "offloading to more devices keeps improving performance."
+        ),
+    )
+
+    # Real tracks ideal within 25% for every configuration and step.
+    for step_name, label, err in errors:
+        assert abs(err) < 0.25, (step_name, label, err)
+    # Monotone improvement with more processors (per step totals).
+    for step_name in ("step1", "step2"):
+        t = {lbl: getattr(reports[lbl], step_name).elapsed_seconds
+             for lbl, _, _ in CONFIGS}
+        assert t["CPU+2GPU"] <= t["CPU+1GPU"] <= t["CPU"] * 1.001
+        assert t["2GPU"] <= t["1GPU"] * 1.001
+        assert t["CPU+1GPU"] <= t["1GPU"] * 1.001

@@ -1,0 +1,59 @@
+"""Fig 6 — distribution of superkmers and kmers vs minimizer length P.
+
+Paper (Fig 6, Human Chr14, 32 partitions): as P grows from 5 to 17, the
+variance of partition sizes decreases significantly while the total
+number of superkmers increases (shorter superkmers).  The paper
+therefore sets P >= 11.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report, run_once
+
+from repro.msp.stats import sweep_minimizer_length
+
+P_VALUES = [5, 7, 9, 11, 13, 15, 17]
+N_PARTITIONS = 32
+
+
+def test_fig6_partition_distribution(benchmark, chr14_reads, chr14_config):
+    dists = run_once(
+        benchmark,
+        lambda: sweep_minimizer_length(
+            chr14_reads, chr14_config.k, P_VALUES, N_PARTITIONS
+        ),
+    )
+
+    rows = [
+        [
+            d.p,
+            d.total_superkmers,
+            f"{d.mean_superkmer_length:.1f}",
+            f"{d.kmer_cv:.3f}",
+            d.max_kmers,
+        ]
+        for d in dists
+    ]
+    emit_report(
+        "fig6_partition_distribution",
+        f"Fig 6: superkmer/kmer distribution vs P (K={chr14_config.k}, "
+        f"NP={N_PARTITIONS})",
+        ["P", "#superkmers", "mean sk length", "kmer CV", "max kmers/part"],
+        rows,
+        notes=(
+            "Paper shapes: #superkmers grows with P (more fragmentation);\n"
+            "partition-size dispersion (CV) falls sharply from P=5 to P=17."
+        ),
+    )
+
+    counts = [d.total_superkmers for d in dists]
+    cvs = [d.kmer_cv for d in dists]
+    # Superkmer count strictly increases with P.
+    assert all(a < b for a, b in zip(counts, counts[1:]))
+    # Dispersion at P=17 is far below P=5 (paper: variance collapses).
+    assert cvs[-1] < 0.5 * cvs[0]
+    # Mean superkmer length decreases.
+    lengths = [d.mean_superkmer_length for d in dists]
+    assert all(a >= b for a, b in zip(lengths, lengths[1:]))
+    # Kmer totals are invariant to P.
+    assert len({d.total_kmers for d in dists}) == 1

@@ -1,0 +1,67 @@
+"""Fig 7 — CPU hashing vs GPU hashing as the number of partitions grows.
+
+Paper (Fig 7, Human Chr14): as the number of superkmer partitions
+increases (hash tables shrink), both the 20-thread CPU hashing time and
+the GPU hashing time decrease; tables under ~1 GB hash well.  Comparing
+with Fig 8, the CPU-vs-GPU gap is roughly the host-device transfer time
+once NP > 16 — i.e. 20 CPU cores hash about as fast as one K40 on
+random accesses.
+"""
+
+from __future__ import annotations
+
+from conftest import NP_SWEEP, emit_report, run_once
+
+from repro.hetsim.device import default_cpu, default_gpu
+
+
+def test_fig7_cpu_vs_gpu_hashing(benchmark, chr14_step2_sweep):
+    cpu = default_cpu()
+    gpu = default_gpu()
+    rows = []
+
+    def compute():
+        for n_partitions in NP_SWEEP:
+            works = chr14_step2_sweep[n_partitions].works
+            cpu_t = sum(cpu.hash_seconds(w) for w in works)
+            gpu_compute = sum(gpu.hash_seconds(w) for w in works)
+            gpu_transfer = sum(gpu.transfer_seconds(w) for w in works)
+            rows.append(
+                {
+                    "np": n_partitions,
+                    "cpu": cpu_t,
+                    "gpu": gpu_compute + gpu_transfer,
+                    "gpu_transfer": gpu_transfer,
+                    "max_table_mb": max(w.table_bytes for w in works) / 1e6,
+                }
+            )
+
+    run_once(benchmark, compute)
+
+    emit_report(
+        "fig7_cpu_vs_gpu_hashing",
+        "Fig 7: hashing time vs #partitions (simulated seconds)",
+        ["NP", "CPU 20t (s)", "GPU (s)", "max table (MB)"],
+        [[r["np"], f"{r['cpu']:.4f}", f"{r['gpu']:.4f}",
+          f"{r['max_table_mb']:.2f}"] for r in rows],
+        notes=(
+            "Paper shapes: both curves fall as partitions shrink the tables;\n"
+            "for NP > 16 the CPU-GPU gap approaches the transfer time (Fig 8)."
+        ),
+    )
+
+    cpu_times = [r["cpu"] for r in rows]
+    gpu_times = [r["gpu"] for r in rows]
+    # Hashing gets faster (or no worse) as tables shrink, on both devices.
+    assert cpu_times[0] > cpu_times[-1]
+    assert gpu_times[0] > gpu_times[-1]
+    assert all(a >= b * 0.98 for a, b in zip(cpu_times, cpu_times[1:]))
+    # Comparable CPU/GPU hashing throughput (within ~3x everywhere).
+    for r in rows:
+        assert 1 / 3 < r["cpu"] / r["gpu"] < 3
+    # For large NP the gap is mostly transfer: |cpu - gpu_compute| is
+    # within ~2.5x of the transfer time once NP > 16.
+    big = [r for r in rows if r["np"] > 16]
+    for r in big:
+        gap = abs(r["cpu"] - (r["gpu"] - r["gpu_transfer"]))
+        assert gap < 2.5 * max(r["gpu_transfer"], 1e-9)

@@ -1,0 +1,72 @@
+"""Fig 9 — concurrent CPU hashing scalability in the thread count.
+
+Paper (Fig 9): hashing time vs threads 1..20 fits
+``log(y) = a log(x) + b`` with a ≈ -1 for x >= 2 — near-linear scaling
+despite data contention, because state-transfer locking serializes only
+one key write per *distinct* vertex.
+
+Here the thread sweep prices the measured hashing work (ops, probes,
+and the contended insertions from the real run's HashStats) on the
+simulated CPU at each thread count, then fits the same log-log model.
+A real-thread correctness run (threads produce the identical graph) is
+covered by the test suite; Python's GIL makes wall-clock thread scaling
+unobservable, which is exactly what the calibrated device model is for.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report, run_once
+
+from repro.hetsim.device import default_cpu
+from repro.util.timing import fit_loglog_slope
+
+THREADS = [1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+
+
+def test_fig9_cpu_hashing_scalability(benchmark, chr14_workloads):
+    _, step2 = chr14_workloads
+    cpu = default_cpu()
+    rows = []
+
+    def compute():
+        for n_threads in THREADS:
+            total = 0.0
+            for work, result in zip(step2.works, step2.results):
+                # Serialized work = expected concurrent lock collisions.
+                # With state transfer a key is locked once per distinct
+                # vertex; a second thread collides only if it touches the
+                # same slot during that short write, whose probability is
+                # ~ n_threads / capacity per insertion — a sub-percent
+                # effect here, which is exactly why the paper measures
+                # near-linear scaling despite the shared table.
+                collision_prob = min(1.0, n_threads / result.capacity)
+                contended = int(result.stats.key_locks * collision_prob)
+                total += cpu.hash_seconds_with_threads(
+                    work, n_threads, contention_ops=contended
+                )
+            rows.append((n_threads, total))
+
+    run_once(benchmark, compute)
+
+    xs = [t for t, _ in rows if t >= 2]
+    ys = [y for t, y in rows if t >= 2]
+    slope, intercept = fit_loglog_slope(xs, ys)
+
+    emit_report(
+        "fig9_scalability",
+        "Fig 9: CPU hashing time vs thread count (simulated seconds)",
+        ["threads", "hashing time (s)", "speedup vs 1t"],
+        [[t, f"{y:.4f}", f"{rows[0][1] / y:.2f}x"] for t, y in rows],
+        notes=(
+            f"log-log fit over threads >= 2: slope a = {slope:.3f} "
+            f"(paper: a close to -1), intercept b = {intercept:.3f}."
+        ),
+    )
+
+    # The paper's headline: a is close to -1.
+    assert -1.05 <= slope <= -0.85
+    # Monotone decreasing.
+    times = [y for _, y in rows]
+    assert all(a > b for a, b in zip(times, times[1:]))
+    # 20 threads at least 12x faster than 1 thread.
+    assert times[0] / times[-1] > 12

@@ -1,0 +1,77 @@
+"""Table I — test dataset properties.
+
+Paper (Table I):
+
+    Genome                         Human Chr14   Bumblebee
+    Fastq file size (GB)                   9.4          92
+    Read length (bp)                       101         124
+    # Reads (Million)                       37         303
+    Genome size (Mbp)                       88         250
+    # Distinct vertices (Million)          452       4,951
+    # Duplicate vertices (Million)       2,725      29,391
+
+We regenerate the same table for the scaled synthetic analogues.  The
+shape to reproduce: duplicates outnumber distinct vertices several-fold,
+and the bumblebee-like graph is several times the chr14-like graph.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report, run_once
+
+from repro.core.parahash import ParaHash
+from repro.hetsim.workloads import fastq_bytes
+
+K = 27
+
+
+def _dataset_row(profile, reads, config):
+    result = ParaHash(config).build_graph(reads)
+    graph = result.graph
+    return {
+        "genome": profile.name,
+        "fastq_mb": fastq_bytes(reads.n_reads, reads.read_length) / 1e6,
+        "read_length": reads.read_length,
+        "n_reads": reads.n_reads,
+        "genome_size": profile.genome_size,
+        "distinct": graph.n_vertices,
+        "duplicates": graph.n_duplicate_vertices(),
+    }
+
+
+def test_table1_dataset_properties(
+    benchmark, chr14_profile, chr14_reads, chr14_config,
+    bumblebee_profile, bumblebee_reads, bumblebee_config,
+):
+    rows = []
+
+    def build_all():
+        rows.append(_dataset_row(chr14_profile, chr14_reads, chr14_config))
+        rows.append(_dataset_row(bumblebee_profile, bumblebee_reads, bumblebee_config))
+
+    run_once(benchmark, build_all)
+    chr14, bumblebee = rows
+
+    emit_report(
+        "table1_datasets",
+        "Table I: test dataset properties (scaled synthetic analogues)",
+        ["property", chr14["genome"], bumblebee["genome"]],
+        [
+            ["Fastq file size (MB)", chr14["fastq_mb"], bumblebee["fastq_mb"]],
+            ["Read length (bp)", chr14["read_length"], bumblebee["read_length"]],
+            ["# Reads", chr14["n_reads"], bumblebee["n_reads"]],
+            ["Genome size (bp)", chr14["genome_size"], bumblebee["genome_size"]],
+            ["# Distinct vertices", chr14["distinct"], bumblebee["distinct"]],
+            ["# Duplicate vertices", chr14["duplicates"], bumblebee["duplicates"]],
+        ],
+        notes=(
+            "Paper shapes checked: duplicates exceed distinct vertices on both\n"
+            "datasets, and the bumblebee-like graph is several times larger."
+        ),
+    )
+
+    # Shape assertions (the reproduction criteria).
+    for row in rows:
+        assert row["duplicates"] > row["distinct"], row["genome"]
+    assert bumblebee["distinct"] > 2.5 * chr14["distinct"]
+    assert bumblebee["fastq_mb"] > 3 * chr14["fastq_mb"]

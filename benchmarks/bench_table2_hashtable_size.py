@@ -1,0 +1,54 @@
+"""Table II — hash table size vs number of superkmer partitions.
+
+Paper (Table II, Human Chr14, P=11):
+
+    NP        16   32   64  128  256  512  960
+    #Kmers   170   85   43   21   11    5    3   (Million per partition)
+    Size    5400 2600 1400  700  320  160   90   (max MB per partition)
+
+Shape to reproduce: per-partition kmer count and maximum hash-table
+size fall roughly inversely with the number of partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit_report, run_once
+
+from repro.core.estimator import SizingPolicy
+from repro.msp.stats import sweep_n_partitions
+
+NP_VALUES = [4, 8, 16, 32, 64, 128, 256]
+
+
+def test_table2_hash_table_size(benchmark, chr14_reads, chr14_config):
+    policy = SizingPolicy(lam=2.0, alpha=0.7)
+    dists = run_once(
+        benchmark,
+        lambda: sweep_n_partitions(
+            chr14_reads, chr14_config.k, chr14_config.p, NP_VALUES
+        ),
+    )
+
+    mean_kmers = [float(np.mean(d.kmers)) for d in dists]
+    max_tables_mb = [
+        policy.table_bytes(d.max_kmers) / 1e6 for d in dists
+    ]
+    emit_report(
+        "table2_hashtable_size",
+        f"Table II: hash table size vs #partitions ({chr14_reads.n_reads} reads, "
+        f"K={chr14_config.k}, P={chr14_config.p})",
+        ["NP"] + [str(n) for n in NP_VALUES],
+        [
+            ["#Kmers/partition (K)"] + [f"{v / 1e3:.0f}" for v in mean_kmers],
+            ["Max table size (MB)"] + [f"{v:.2f}" for v in max_tables_mb],
+        ],
+        notes="Both rows fall roughly inversely with NP (paper Table II).",
+    )
+
+    # Shape: monotone decrease, roughly inverse proportionality.
+    assert all(a > b for a, b in zip(mean_kmers, mean_kmers[1:]))
+    assert all(a >= b for a, b in zip(max_tables_mb, max_tables_mb[1:]))
+    # Doubling NP should roughly halve the mean partition size.
+    for a, b in zip(mean_kmers, mean_kmers[1:]):
+        assert 1.7 <= a / b <= 2.3

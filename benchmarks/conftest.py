@@ -1,0 +1,116 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at
+laptop scale and prints it as a text table (also saved under
+``benchmarks/results/``).  Scale is adjustable with the
+``REPRO_BENCH_SCALE`` environment variable (default 1.0; e.g. 0.25 for
+a quick pass, 4 for a longer, smoother run).
+
+Dataset fixtures are module-scoped and cached across benchmarks within
+a session; the kernels are executed for real (the simulator only prices
+the measured work).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ParaHashConfig
+from repro.dna.simulate import BUMBLEBEE_LIKE, HUMAN_CHR14_LIKE
+from repro.util.tables import render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def chr14_profile(scale):
+    return HUMAN_CHR14_LIKE.scaled(scale)
+
+
+@pytest.fixture(scope="session")
+def bumblebee_profile(scale):
+    return BUMBLEBEE_LIKE.scaled(scale)
+
+
+@pytest.fixture(scope="session")
+def chr14_reads(chr14_profile):
+    return chr14_profile.generate_reads()
+
+
+@pytest.fixture(scope="session")
+def bumblebee_reads(bumblebee_profile):
+    return bumblebee_profile.generate_reads()
+
+
+@pytest.fixture(scope="session")
+def chr14_config():
+    # Paper defaults for the medium dataset: K=27, P=11.
+    return ParaHashConfig(k=27, p=11, n_partitions=32, n_input_pieces=8)
+
+
+@pytest.fixture(scope="session")
+def bumblebee_config():
+    # Paper defaults for the big dataset: K=27, P=19, more partitions.
+    return ParaHashConfig(k=27, p=19, n_partitions=64, n_input_pieces=8)
+
+
+@pytest.fixture(scope="session")
+def chr14_workloads(chr14_reads, chr14_config):
+    """Measured Step 1 + Step 2 work for the chr14-like dataset."""
+    from repro.hetsim.workloads import measure_workloads
+
+    return measure_workloads(chr14_reads, chr14_config)
+
+
+@pytest.fixture(scope="session")
+def bumblebee_workloads(bumblebee_reads, bumblebee_config):
+    from repro.hetsim.workloads import measure_workloads
+
+    return measure_workloads(bumblebee_reads, bumblebee_config)
+
+
+NP_SWEEP = [4, 8, 16, 32, 64, 128]
+
+
+@pytest.fixture(scope="session")
+def chr14_step2_sweep(chr14_reads, chr14_config):
+    """Measured Step 2 works for several partition counts (Figs 7/8)."""
+    from repro.hetsim.workloads import measure_step1, measure_step2
+
+    sweep = {}
+    for n_partitions in NP_SWEEP:
+        cfg = chr14_config.with_(n_partitions=n_partitions)
+        step1 = measure_step1(chr14_reads, cfg)
+        sweep[n_partitions] = measure_step2(step1.blocks, cfg)
+    return sweep
+
+
+def emit_report(name: str, title: str, headers, rows, notes: str = "") -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    table = render_table(headers, rows, title=title)
+    body = table + ("\n\n" + notes if notes else "") + "\n"
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(body)
+    print("\n" + body)
+    return body
+
+
+def run_once(benchmark, fn):
+    """Register a single-shot timing with pytest-benchmark.
+
+    The kernels here are deterministic and substantial; one round keeps
+    the full benchmark suite fast while still recording a wall time.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""K-mer multiplicity spectrum: separating errors from genome content.
+
+The paper's Property 1 predicts the graph size from the error model:
+erroneous kmers are (mostly) unique, genomic kmers appear ~coverage
+times.  This example builds the graph at several error rates, plots the
+multiplicity spectrum as a text histogram, and compares the measured
+distinct-vertex counts with the Property 1 estimate.
+
+    python examples/kmer_spectrum.py
+"""
+
+import numpy as np
+
+from repro.core import ParaHash, ParaHashConfig, expected_distinct_vertices
+from repro.dna import DatasetProfile
+from repro.graph import MULT_SLOT
+from repro.util import print_table
+
+K = 21
+BAR = 48
+
+
+def spectrum(graph, max_mult=20):
+    mult = np.minimum(graph.counts[:, MULT_SLOT], max_mult).astype(int)
+    return np.bincount(mult, minlength=max_mult + 1)
+
+
+def main() -> None:
+    base = DatasetProfile(
+        name="spectrum",
+        genome_size=15_000,
+        read_length=90,
+        coverage=20.0,
+        mean_errors=0.0,
+        repeat_fraction=0.0,
+        seed=11,
+    )
+    config = ParaHashConfig(k=K, p=9, n_partitions=16)
+
+    rows = []
+    for lam in (0.0, 0.5, 1.0, 2.0):
+        profile = DatasetProfile(**{**base.__dict__, "mean_errors": lam,
+                                    "name": f"lam{lam}"})
+        reads = profile.generate_reads()
+        graph = ParaHash(config).build_graph(reads).graph
+        estimate = expected_distinct_vertices(
+            reads.n_reads, reads.read_length, K, profile.genome_size, lam
+        )
+        rows.append([
+            f"{lam:.1f}", graph.n_vertices, f"{estimate:.0f}",
+            f"{graph.n_vertices / estimate:.2f}",
+        ])
+        if lam == 1.0:
+            hist = spectrum(graph)
+            print(f"\nmultiplicity spectrum at lambda = {lam} "
+                  f"(x = copies seen, bar = #vertices):")
+            peak = hist[1:].max()
+            for m in range(1, len(hist)):
+                bar = "#" * int(BAR * hist[m] / peak)
+                label = f"{m:>3}" if m < len(hist) - 1 else f"{m:>2}+"
+                print(f"  {label} | {bar} {hist[m]}")
+            print("  -> the spike at 1 is sequencing errors; the bump near "
+                  "the coverage (20x) is the genome.")
+
+    print()
+    print_table(
+        ["lambda (errors/read)", "measured distinct", "Property 1 estimate",
+         "measured/estimate"],
+        rows,
+        title="Graph size vs error rate — Property 1 in practice",
+    )
+    print("The estimate is intentionally an upper-bound flavor: ParaHash "
+          "sizes hash tables with it so they never resize (lambda=2 default).")
+
+
+if __name__ == "__main__":
+    main()

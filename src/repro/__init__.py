@@ -1,0 +1,19 @@
+"""ParaHash reproduction: parallel big De Bruijn graph construction.
+
+This package reimplements the system described in *Parallelizing Big De
+Bruijn Graph Construction on Heterogeneous Processors* (Qiu & Luo,
+ICDCS 2017) as a pure-Python library with a simulated heterogeneous
+(CPU + GPU) substrate.  See ``DESIGN.md`` for the system inventory and
+``EXPERIMENTS.md`` for the reproduced tables and figures.
+
+Public entry points
+-------------------
+- :mod:`repro.dna` — sequences, k-mers, minimizers, read simulation.
+- :mod:`repro.msp` — Step 1: minimum substring partitioning.
+- :mod:`repro.core` — Step 2: concurrent hashing and the ParaHash driver.
+- :mod:`repro.graph` — De Bruijn graph structures and validation.
+- :mod:`repro.hetsim` — heterogeneous processor / pipeline simulator.
+- :mod:`repro.baselines` — SOAP-style and bcalm2-style baselines.
+"""
+
+__version__ = "1.0.0"

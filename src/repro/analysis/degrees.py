@@ -1,0 +1,62 @@
+"""Degree and branching statistics of a De Bruijn graph.
+
+Branching structure determines assembly difficulty (and bcalm2's
+junction-kmer MPHF cost); these statistics summarize it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.dbg import IN_BASE, OUT_BASE, DeBruijnGraph
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Degree structure of a graph."""
+
+    out_degree_histogram: tuple[int, ...]  # index = #distinct out edges (0..4)
+    in_degree_histogram: tuple[int, ...]
+    n_junctions: int  # out-degree > 1 or in-degree > 1
+    n_tips: int  # degree 0 on at least one side
+    n_simple: int  # exactly one edge on each side
+    mean_total_degree: float
+
+
+def out_degrees(graph: DeBruijnGraph) -> np.ndarray:
+    """Distinct out-edge count per vertex (0..4)."""
+    return (graph.counts[:, OUT_BASE : OUT_BASE + 4] > 0).sum(axis=1)
+
+
+def in_degrees(graph: DeBruijnGraph) -> np.ndarray:
+    """Distinct in-edge count per vertex (0..4)."""
+    return (graph.counts[:, IN_BASE : IN_BASE + 4] > 0).sum(axis=1)
+
+
+def degree_summary(graph: DeBruijnGraph) -> DegreeSummary:
+    """Compute the full degree summary in one pass."""
+    out_d = out_degrees(graph)
+    in_d = in_degrees(graph)
+    out_hist = np.bincount(out_d, minlength=5)
+    in_hist = np.bincount(in_d, minlength=5)
+    junctions = int(((out_d > 1) | (in_d > 1)).sum())
+    tips = int(((out_d == 0) | (in_d == 0)).sum())
+    simple = int(((out_d == 1) & (in_d == 1)).sum())
+    n = max(1, graph.n_vertices)
+    return DegreeSummary(
+        out_degree_histogram=tuple(int(v) for v in out_hist),
+        in_degree_histogram=tuple(int(v) for v in in_hist),
+        n_junctions=junctions,
+        n_tips=tips,
+        n_simple=simple,
+        mean_total_degree=float((out_d + in_d).sum() / n),
+    )
+
+
+def branching_fraction(graph: DeBruijnGraph) -> float:
+    """Fraction of vertices that are junctions."""
+    if graph.n_vertices == 0:
+        return 0.0
+    return degree_summary(graph).n_junctions / graph.n_vertices

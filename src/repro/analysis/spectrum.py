@@ -1,0 +1,80 @@
+"""K-mer multiplicity spectrum analysis.
+
+The multiplicity counters ParaHash records per vertex (the paper notes
+most standalone constructors omit them, §II-B) enable the classic
+spectrum analyses: the histogram of vertex multiplicities has an error
+spike at 1 and a genomic peak near the coverage; from it one can
+estimate coverage, genome size, and a sensible error-filter threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.dbg import MULT_SLOT, DeBruijnGraph
+
+
+def multiplicity_histogram(graph: DeBruijnGraph, max_mult: int = 256) -> np.ndarray:
+    """``hist[m]`` = number of vertices seen exactly ``m`` times
+    (``hist[max_mult]`` aggregates the tail)."""
+    mult = np.minimum(graph.counts[:, MULT_SLOT], np.uint64(max_mult))
+    return np.bincount(mult.astype(np.int64), minlength=max_mult + 1)
+
+
+@dataclass(frozen=True)
+class SpectrumSummary:
+    """What the spectrum says about the dataset."""
+
+    coverage_peak: int  # multiplicity of the genomic mode
+    error_threshold: int  # first local minimum between spike and peak
+    estimated_genome_size: int  # vertices above the threshold
+    n_error_vertices: int  # vertices at or below the threshold
+    estimated_kmer_coverage: float  # weighted mean multiplicity of genomic part
+
+
+def analyze_spectrum(graph: DeBruijnGraph, max_mult: int = 256) -> SpectrumSummary:
+    """Locate the error spike and genomic peak, derive the estimates.
+
+    The error threshold is the first local minimum of the histogram
+    after multiplicity 1; the coverage peak is the histogram mode above
+    that threshold.
+    """
+    hist = multiplicity_histogram(graph, max_mult)
+    # First local minimum after m=1 (the valley between errors and genome).
+    threshold = 1
+    for m in range(2, max_mult):
+        if hist[m] <= hist[m - 1] and hist[m] <= hist[m + 1]:
+            threshold = m
+            break
+    genomic = hist[threshold + 1 :]
+    if genomic.sum() == 0:
+        peak = threshold
+    else:
+        peak = threshold + 1 + int(np.argmax(genomic))
+    mults = np.arange(threshold + 1, max_mult + 1)
+    weight = hist[threshold + 1 :].astype(float)
+    est_cov = float((mults * weight).sum() / weight.sum()) if weight.sum() else 0.0
+    n_genomic = int(hist[threshold + 1 :].sum())
+    n_errors = int(hist[1 : threshold + 1].sum())
+    return SpectrumSummary(
+        coverage_peak=peak,
+        error_threshold=threshold,
+        estimated_genome_size=n_genomic,
+        n_error_vertices=n_errors,
+        estimated_kmer_coverage=est_cov,
+    )
+
+
+def estimate_genome_size_from_instances(
+    graph: DeBruijnGraph, max_mult: int = 256
+) -> float:
+    """Classic estimator: total kmer instances / coverage peak.
+
+    More robust than counting vertices when coverage is uneven.
+    """
+    summary = analyze_spectrum(graph, max_mult)
+    if summary.coverage_peak == 0:
+        return 0.0
+    return graph.total_kmer_instances() / summary.coverage_peak

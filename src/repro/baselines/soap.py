@@ -1,0 +1,127 @@
+"""SOAPdenovo-style baseline: thread-local hash tables over in-memory kmers.
+
+The paper characterizes SOAP's construction (§II-C): all kmers are
+generated in main memory; each of T threads then *reads every kmer*
+and inserts into its own local table the kmers that hash to it.  Two
+consequences ParaHash attacks:
+
+* **memory**: the whole kmer multiset plus all T tables must fit in
+  RAM at once (SOAP cannot run Bumblebee on 64 GB, Table III);
+* **read amplification**: every thread scans the full kmer stream, so
+  the "Read data" portion of hashing is T times the useful volume
+  (Fig 10), and parallelism is capped by the table count.
+
+The implementation is faithful at the algorithmic level — kmers are
+hash-partitioned into per-thread tables and each table aggregates its
+share — and produces a graph identical to the reference builder.  Work
+is metered so the simulated CPU can price it for Table III / Fig 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..concurrentsub.hashfunc import mix64
+from ..dna.reads import ReadBatch
+from ..graph.build import edge_observations
+from ..graph.dbg import DeBruijnGraph, graph_from_pairs
+from ..graph.merge import merge_disjoint
+from ..hetsim.device import ENTRY_BYTES, CpuDevice, locality_factor
+
+
+@dataclass(frozen=True)
+class SoapWork:
+    """Metered work of a SOAP-style run."""
+
+    n_threads: int
+    n_observations: int  # kmer/edge observations generated in memory
+    read_ops_per_thread: int  # every thread scans the full stream
+    insert_ops_per_thread: int  # only its hash share is inserted
+    table_bytes_total: int
+    staging_bytes: int  # the in-memory kmer stream
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return self.table_bytes_total + self.staging_bytes
+
+
+@dataclass
+class SoapResult:
+    graph: DeBruijnGraph
+    work: SoapWork
+
+
+def build_soap(reads: ReadBatch, k: int, n_threads: int = 20) -> SoapResult:
+    """Run the SOAP-style construction and meter it."""
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    vertex_ids, slots = edge_observations(reads.codes, k)
+    n_obs = int(vertex_ids.size)
+
+    # Hash-partition observations to the thread-local tables.
+    owner = (mix64(vertex_ids) % np.uint64(n_threads)).astype(np.int64)
+    tables = []
+    distinct_total = 0
+    per_thread_share = 0
+    for t in range(n_threads):
+        sel = owner == t
+        per_thread_share = max(per_thread_share, int(sel.sum()))
+        sub = graph_from_pairs(k, vertex_ids[sel], slots[sel])
+        distinct_total += sub.n_vertices
+        tables.append(sub)
+    graph = merge_disjoint(tables)
+
+    work = SoapWork(
+        n_threads=n_threads,
+        n_observations=n_obs,
+        read_ops_per_thread=n_obs,
+        insert_ops_per_thread=per_thread_share,
+        table_bytes_total=distinct_total * ENTRY_BYTES,
+        staging_bytes=n_obs * 9,  # packed kmer + slot per observation
+    )
+    return SoapResult(graph=graph, work=work)
+
+
+@dataclass(frozen=True)
+class SoapTiming:
+    """Simulated hashing-time breakdown (the Fig 10 bars)."""
+
+    read_data_seconds: float
+    insert_update_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.read_data_seconds + self.insert_update_seconds
+
+
+#: Reading a <vertex, edge> pair from the in-memory stream is cheaper
+#: than a hash insert; this is the ops-per-read/ops-per-insert ratio.
+READ_COST_RATIO = 0.12
+
+
+def simulate_soap_hashing(work: SoapWork, cpu: CpuDevice) -> SoapTiming:
+    """Price a SOAP run's hashing phase on a simulated CPU.
+
+    All threads run in parallel, so the elapsed read time is one full
+    stream scan (every thread does one concurrently) and the elapsed
+    insert time is the largest per-thread share.  The locality factor is
+    taken over the *combined* footprint of all thread-local tables: the
+    threads run concurrently and share the last-level cache, so the
+    whole-graph working set (not one table) determines the hit rate —
+    the architectural weakness ParaHash's partition-at-a-time tables
+    avoid.
+    """
+    ops_per_sec = cpu.hash_ops_per_sec
+    read_seconds = work.read_ops_per_thread * READ_COST_RATIO / ops_per_sec
+    factor = locality_factor(work.table_bytes_total, cpu.cache_bytes,
+                             cpu.miss_penalty)
+    insert_seconds = work.insert_ops_per_thread * factor / ops_per_sec
+    return SoapTiming(read_data_seconds=read_seconds, insert_update_seconds=insert_seconds)
+
+
+def soap_memory_required(reads: ReadBatch, k: int) -> int:
+    """SOAP's whole-input memory demand, for the Table III NA check."""
+    n_obs = reads.n_kmers(k) * 3  # mult + successor + predecessor streams
+    return n_obs * 9  # staging only; tables come on top

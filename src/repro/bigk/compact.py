@@ -1,0 +1,27 @@
+"""Unitig compaction for big-K graphs.
+
+The traversal logic in :mod:`repro.graph.compact` only needs integer
+vertices, the counter matrix and k; a lightweight view adapts the
+two-word store to that interface, so big-K graphs compact with the
+same (tested) walker.
+"""
+
+from __future__ import annotations
+
+from ..graph.compact import Unitig, compact_unitigs
+from .store import BigDeBruijnGraph
+
+
+class _IntVertexView:
+    """Duck-typed view of a BigDeBruijnGraph with Python-int vertices."""
+
+    def __init__(self, graph: BigDeBruijnGraph) -> None:
+        self.k = graph.k
+        self.counts = graph.counts
+        self.n_vertices = graph.n_vertices
+        self.vertices = [graph.vertex_int(i) for i in range(graph.n_vertices)]
+
+
+def compact_unitigs_bigk(graph: BigDeBruijnGraph) -> list[Unitig]:
+    """All unitigs of a two-word graph (semantics of ``compact_unitigs``)."""
+    return compact_unitigs(_IntVertexView(graph))

@@ -1,0 +1,253 @@
+"""Concurrent hash table with two-word keys (31 < K <= 63).
+
+This is the configuration the state-transfer protocol exists for: the
+key spans **two machine words**, so it cannot be claimed with a single
+hardware CAS — which is exactly the limitation of word-sized CAS tables
+the paper calls out (§I, §II-C).  Instead the per-slot ``occupancy``
+flag is CASed EMPTY→LOCKED, *both* key words are written under the
+lock, and OCCUPIED is published; from then on the two words are
+immutable and read without synchronization.
+
+The vectorized batch path and the real-thread path produce identical
+tables; telemetry uses the same :class:`repro.core.hashtable.HashStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..concurrentsub.atomics import AtomicInt64Array
+from ..concurrentsub.hashfunc import mix64, mix64_int
+from ..core.estimator import next_power_of_two
+from ..core.hashtable import EMPTY, LOCKED, OCCUPIED, HashStats, TableFullError
+from ..graph.dbg import N_SLOTS
+from .kmer2w import check_2w_k, split_int
+from .store import BigDeBruijnGraph
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_GOLDEN_INT = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def hash_planes(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    """64-bit mix of a two-word key (vectorized)."""
+    with np.errstate(over="ignore"):
+        return mix64(np.asarray(lo, dtype=np.uint64) ^ (mix64(hi) + _GOLDEN))
+
+
+def hash_planes_int(hi: int, lo: int) -> int:
+    """Scalar twin of :func:`hash_planes`."""
+    return mix64_int(lo ^ ((mix64_int(hi) + _GOLDEN_INT) & _MASK64))
+
+
+class TwoWordHashTable:
+    """Fixed-capacity open-addressing table over (hi, lo) uint64 keys."""
+
+    def __init__(self, capacity: int, k: int) -> None:
+        check_2w_k(k)
+        self.capacity = next_power_of_two(max(2, capacity))
+        self._mask = np.uint64(self.capacity - 1)
+        self.k = k
+        self.state = np.zeros(self.capacity, dtype=np.int8)
+        self.keys_hi = np.zeros(self.capacity, dtype=np.uint64)
+        self.keys_lo = np.zeros(self.capacity, dtype=np.uint64)
+        self.counts = np.zeros((self.capacity, N_SLOTS), dtype=np.uint32)
+        self.n_occupied = 0
+        self.stats = HashStats()
+        self._atomic_state: AtomicInt64Array | None = None
+        self._count_locks: list[threading.Lock] | None = None
+        self._occupied_lock = threading.Lock()
+        self._init_lock = threading.Lock()
+
+    @property
+    def load_factor(self) -> float:
+        return self.n_occupied / self.capacity
+
+    def memory_bytes(self) -> int:
+        return int(
+            self.state.nbytes + self.keys_hi.nbytes + self.keys_lo.nbytes
+            + self.counts.nbytes
+        )
+
+    # -- vectorized batch path -------------------------------------------------
+
+    def insert_batch(self, hi: np.ndarray, lo: np.ndarray, slots: np.ndarray,
+                     chunk: int = 1 << 20) -> None:
+        """Apply ``(hi, lo, slot)`` observations, vectorized."""
+        hi = np.ascontiguousarray(hi, dtype=np.uint64).ravel()
+        lo = np.ascontiguousarray(lo, dtype=np.uint64).ravel()
+        slots = np.ascontiguousarray(slots, dtype=np.int64).ravel()
+        if not (hi.shape == lo.shape == slots.shape):
+            raise ValueError("hi, lo and slots must be parallel arrays")
+        for start in range(0, hi.size, chunk):
+            self._insert_chunk(hi[start:start + chunk], lo[start:start + chunk],
+                               slots[start:start + chunk])
+
+    def _insert_chunk(self, hi, lo, slots) -> None:
+        stats = self.stats
+        n = hi.size
+        stats.ops += n
+        stats.count_increments += n
+        home = hash_planes(hi, lo) & self._mask
+        pending = np.arange(n, dtype=np.int64)
+        offset = np.zeros(n, dtype=np.uint64)
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > self.capacity + 2:
+                raise TableFullError(
+                    f"probe wrapped a table of capacity {self.capacity}"
+                )
+            pos = (home[pending] + offset[pending]) & self._mask
+            st = self.state[pos]
+            is_occ = st == OCCUPIED
+            match = is_occ & (self.keys_hi[pos] == hi[pending]) & (
+                self.keys_lo[pos] == lo[pending]
+            )
+            if match.any():
+                rows = pos[match].astype(np.int64)
+                np.add.at(self.counts, (rows, slots[pending[match]]), 1)
+                stats.updates += int(match.sum())
+            mismatch = is_occ & ~match
+            empty = st == EMPTY
+            winners = np.zeros(pending.size, dtype=bool)
+            if empty.any():
+                empty_idx = np.nonzero(empty)[0]
+                _, first = np.unique(pos[empty_idx], return_index=True)
+                win = empty_idx[first]
+                winners[win] = True
+                wpos = pos[win].astype(np.int64)
+                wops = pending[win]
+                self.state[wpos] = OCCUPIED
+                self.keys_hi[wpos] = hi[wops]
+                self.keys_lo[wpos] = lo[wops]
+                np.add.at(self.counts, (wpos, slots[wops]), 1)
+                self.n_occupied += wpos.size
+                stats.inserts += wpos.size
+                stats.key_locks += wpos.size
+                stats.cas_failures += int(empty.sum()) - wpos.size
+            stats.probes += int(mismatch.sum())
+            keep = (~match) & (~winners)
+            advance = mismatch[keep].astype(np.uint64)
+            pending = pending[keep]
+            if pending.size:
+                offset[pending] += advance
+
+    # -- real-thread path --------------------------------------------------------
+
+    def _ensure_threaded(self) -> None:
+        if self._atomic_state is not None:
+            return
+        # Double-checked locking: see ConcurrentHashTable._ensure_threaded.
+        with self._init_lock:
+            if self._atomic_state is not None:
+                return
+            atomic = AtomicInt64Array(self.capacity, n_stripes=256)
+            atomic.raw()[:] = self.state.astype(np.int64)
+            self._count_locks = [threading.Lock() for _ in range(256)]
+            self._atomic_state = atomic
+
+    def insert_one_threadsafe(self, kmer: int, slot: int,
+                              local: HashStats | None = None) -> None:
+        """Per-operation state machine with a genuinely multi-word key."""
+        self._ensure_threaded()
+        atomic = self._atomic_state
+        assert atomic is not None and self._count_locks is not None
+        stats = local if local is not None else self.stats
+        stats.ops += 1
+        stats.count_increments += 1
+        hi, lo = split_int(int(kmer), self.k)
+        h = hash_planes_int(hi, lo) & (self.capacity - 1)
+        offset = 0
+        while True:
+            if offset >= self.capacity:
+                raise TableFullError(
+                    f"probe wrapped a table of capacity {self.capacity}"
+                )
+            pos = (h + offset) & (self.capacity - 1)
+            st = atomic.load(pos)
+            if st == EMPTY:
+                if atomic.compare_and_swap(pos, EMPTY, LOCKED):
+                    # Both words written inside the single lock window.
+                    self.keys_hi[pos] = np.uint64(hi)
+                    self.keys_lo[pos] = np.uint64(lo)
+                    stats.key_locks += 1
+                    stats.inserts += 1
+                    atomic.store(pos, OCCUPIED)
+                    self.state[pos] = OCCUPIED
+                    self._add_count(pos, slot)
+                    with self._occupied_lock:
+                        self.n_occupied += 1
+                    return
+                stats.cas_failures += 1
+                continue
+            if st == LOCKED:
+                stats.blocked_reads += 1
+                continue
+            if int(self.keys_hi[pos]) == hi and int(self.keys_lo[pos]) == lo:
+                stats.updates += 1
+                self._add_count(pos, slot)
+                return
+            offset += 1
+            stats.probes += 1
+
+    def _add_count(self, pos: int, slot: int) -> None:
+        assert self._count_locks is not None
+        with self._count_locks[pos % len(self._count_locks)]:
+            self.counts[pos, slot] += 1
+
+    def insert_threaded(self, kmers: list[int], slots: np.ndarray,
+                        n_threads: int) -> list[HashStats]:
+        """Run the per-op protocol from real threads over int kmers."""
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        slots = np.asarray(slots, dtype=np.int64).ravel()
+        bounds = np.linspace(0, len(kmers), n_threads + 1).astype(int)
+        locals_ = [HashStats() for _ in range(n_threads)]
+        errors: list[BaseException] = []
+
+        def work(t: int) -> None:
+            try:
+                for i in range(bounds[t], bounds[t + 1]):
+                    self.insert_one_threadsafe(kmers[i], int(slots[i]), locals_[t])
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        for s in locals_:
+            self.stats = self.stats.merged_with(s)
+        return locals_
+
+    # -- queries --------------------------------------------------------------------
+
+    def lookup(self, kmer: int) -> np.ndarray | None:
+        hi, lo = split_int(int(kmer), self.k)
+        h = hash_planes_int(hi, lo) & (self.capacity - 1)
+        for offset in range(self.capacity):
+            pos = (h + offset) & (self.capacity - 1)
+            st = int(self.state[pos])
+            if st == EMPTY:
+                return None
+            if st == OCCUPIED and int(self.keys_hi[pos]) == hi \
+                    and int(self.keys_lo[pos]) == lo:
+                return self.counts[pos].copy()
+        return None
+
+    def to_graph(self) -> BigDeBruijnGraph:
+        occ = self.state == OCCUPIED
+        hi = self.keys_hi[occ]
+        lo = self.keys_lo[occ]
+        counts = self.counts[occ].astype(np.uint64)
+        order = np.lexsort((lo, hi))
+        return BigDeBruijnGraph(
+            k=self.k, vertices_hi=hi[order], vertices_lo=lo[order],
+            counts=counts[order],
+        )

@@ -1,0 +1,213 @@
+"""Work-stealing partition queues (the paper's §III-E protocol).
+
+ParaHash synchronizes its three pipeline stages with four shared
+counters:
+
+* ``srv`` — tail of the input queue, advanced only by the thread that
+  loads partitions from disk;
+* ``cns`` — head of the input queue; a processor takes a *queuing id*
+  by fetch-incrementing ``cns`` and may consume partition ``id`` once
+  ``srv >= id + 1`` (the paper's ``srv >= cns`` availability test);
+* ``prd`` — number of output partitions produced;
+* ``wrt`` — head of the output queue, advanced by the writer thread
+  once ``prd`` covers it.
+
+:class:`InputQueue` and :class:`OutputQueue` implement exactly this
+protocol with blocking waits; :func:`run_coprocessed` drives a set of
+worker callables (one per processor) over a partition list the way the
+ParaHash pipeline does, recording which processor consumed which
+partition — the measurement behind the paper's Fig 11 workload
+distribution study.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .atomics import SharedCounter
+
+
+class QueueClosed(RuntimeError):
+    """Raised when taking from an input queue that finished early."""
+
+
+class InputQueue:
+    """The srv/cns input side: a producer publishes, consumers claim ids."""
+
+    def __init__(self, n_items: int) -> None:
+        if n_items < 0:
+            raise ValueError("n_items must be >= 0")
+        self.n_items = n_items
+        self.srv = SharedCounter(0)
+        self.cns = SharedCounter(0)
+        self._slots: list[Any] = [None] * n_items
+
+    def publish(self, item: Any) -> int:
+        """Producer: place the next partition and advance ``srv``.
+
+        Returns the published index.  Only one producer thread may call
+        this (matching the paper: "srv is incremented only by the thread
+        that inputs partitions").
+        """
+        index = self.srv.value
+        if index >= self.n_items:
+            raise IndexError("publish beyond declared n_items")
+        self._slots[index] = item
+        self.srv.increment()
+        return index
+
+    def try_claim(self) -> int | None:
+        """Consumer: take a queuing id, or ``None`` when all are claimed."""
+        ticket = self.cns.fetch_increment()
+        if ticket >= self.n_items:
+            return None
+        return ticket
+
+    def take(self, ticket: int, timeout: float | None = None) -> Any:
+        """Block until partition ``ticket`` is available, then return it."""
+        if not self.srv.wait_for(ticket + 1, timeout=timeout):
+            raise QueueClosed(f"partition {ticket} never became available")
+        return self._slots[ticket]
+
+
+class OutputQueue:
+    """The prd/wrt output side: producers publish, one writer drains in order."""
+
+    def __init__(self, n_items: int) -> None:
+        if n_items < 0:
+            raise ValueError("n_items must be >= 0")
+        self.n_items = n_items
+        self.prd = SharedCounter(0)
+        self.wrt = SharedCounter(0)
+        self._slots: list[Any] = [None] * n_items
+        self._done = [False] * n_items
+        self._lock = threading.Lock()
+
+    def publish(self, index: int, item: Any) -> None:
+        """A processor finished partition ``index``; advance ``prd``."""
+        with self._lock:
+            if self._done[index]:
+                raise ValueError(f"output {index} published twice")
+            self._slots[index] = item
+            self._done[index] = True
+        self.prd.increment()
+
+    def drain(self, timeout: float | None = None):
+        """Writer: yield outputs in *completion-count* order.
+
+        The writer dequeues as soon as ``prd >= wrt + 1`` — outputs are
+        written as they become available; completion order is whatever
+        the processors produced.
+        """
+        emitted = 0
+        while emitted < self.n_items:
+            if not self.prd.wait_for(emitted + 1, timeout=timeout):
+                raise QueueClosed(f"only {emitted}/{self.n_items} outputs produced")
+            with self._lock:
+                pending = [
+                    i for i in range(self.n_items)
+                    if self._done[i] and self._slots[i] is not _EMITTED
+                ]
+            for i in pending:
+                with self._lock:
+                    item = self._slots[i]
+                    self._slots[i] = _EMITTED
+                self.wrt.increment()
+                emitted += 1
+                yield i, item
+
+
+_EMITTED = object()
+
+
+@dataclass
+class WorkerRecord:
+    """What one processor did during a co-processed run."""
+
+    name: str
+    partitions: list[int] = field(default_factory=list)
+    items_processed: int = 0
+
+
+def run_coprocessed(
+    items: list[Any],
+    workers: dict[str, Callable[[Any], Any]],
+    size_of: Callable[[Any], int] | None = None,
+) -> tuple[list[Any], dict[str, WorkerRecord]]:
+    """Process ``items`` with one thread per worker, work-stealing style.
+
+    Every worker loops: claim the next queuing id from the shared
+    ``cns`` counter, wait for the producer to publish it, process it,
+    publish the result.  Faster workers naturally claim more partitions,
+    which is the paper's dynamic workload distribution.
+
+    Parameters
+    ----------
+    items:
+        The input partitions.
+    workers:
+        Mapping of processor name to its processing callable.
+    size_of:
+        Optional item-size measure accumulated per worker (e.g. number
+        of reads or kmers), for workload-share reporting.
+
+    Returns
+    -------
+    (results, records):
+        ``results[i]`` is the output for ``items[i]``; ``records`` maps
+        worker name to its :class:`WorkerRecord`.
+    """
+    if not workers:
+        raise ValueError("at least one worker is required")
+    n = len(items)
+    in_q = InputQueue(n)
+    out_q = OutputQueue(n)
+    records = {name: WorkerRecord(name=name) for name in workers}
+    errors: list[BaseException] = []
+    error_lock = threading.Lock()
+
+    def producer() -> None:
+        for item in items:
+            in_q.publish(item)
+
+    def consumer(name: str, fn: Callable[[Any], Any]) -> None:
+        record = records[name]
+        while True:
+            ticket = in_q.try_claim()
+            if ticket is None:
+                return
+            try:
+                item = in_q.take(ticket, timeout=60.0)
+                result = fn(item)
+                out_q.publish(ticket, result)
+            except BaseException as exc:  # propagate to caller
+                with error_lock:
+                    errors.append(exc)
+                out_q.publish(ticket, None)
+                # Fail fast: drain the tickets this worker would have
+                # processed so the writer is not left waiting on them.
+                while True:
+                    leftover = in_q.try_claim()
+                    if leftover is None:
+                        return
+                    out_q.publish(leftover, None)
+            record.partitions.append(ticket)
+            record.items_processed += size_of(item) if size_of else 1
+
+    threads = [threading.Thread(target=producer, name="producer")]
+    threads += [
+        threading.Thread(target=consumer, args=(name, fn), name=name)
+        for name, fn in workers.items()
+    ]
+    for t in threads:
+        t.start()
+    results: list[Any] = [None] * n
+    for index, item in out_q.drain(timeout=120.0):
+        results[index] = item
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results, records

@@ -1,0 +1,70 @@
+"""ParaHash run configuration.
+
+Defaults follow the paper's experimental setup (§V-A/V-B): K = 27,
+minimizer length P = 11 for medium inputs (19 for the big dataset),
+λ = 2 and α ∈ [0.5, 0.8] for table sizing, and a partition count that
+keeps each hash table comfortably small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .estimator import SizingPolicy
+
+
+@dataclass(frozen=True)
+class ParaHashConfig:
+    """Parameters of a ParaHash run.
+
+    Attributes
+    ----------
+    k:
+        Kmer length (vertex size).  The paper uses 27 for both datasets.
+    p:
+        Minimizer length; larger P balances partitions better but
+        fragments superkmers (Fig 6).  Must satisfy ``1 <= p <= k``.
+    n_partitions:
+        Number of superkmer partitions (and subgraphs).  The paper uses
+        512 for gigabyte-scale inputs, 960 for 100 GB+.
+    n_input_pieces:
+        How many equal pieces Step 1 splits the input into (pipeline
+        granularity).
+    sizing:
+        Hash-table sizing policy (Property 1 parameters λ and α).
+    n_threads:
+        Worker threads for Step 2's real-thread path; 1 selects the
+        vectorized batch path.
+    """
+
+    k: int = 27
+    p: int = 11
+    n_partitions: int = 32
+    n_input_pieces: int = 4
+    sizing: SizingPolicy = field(default_factory=SizingPolicy)
+    n_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.k > 31:
+            raise ValueError("k must be <= 31 (one-word packed kmers)")
+        if not 1 <= self.p <= self.k:
+            raise ValueError(f"need 1 <= p <= k, got p={self.p}, k={self.k}")
+        if self.n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if self.n_input_pieces < 1:
+            raise ValueError("n_input_pieces must be >= 1")
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+
+    def with_(self, **changes) -> "ParaHashConfig":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **changes)
+
+
+#: Paper defaults for a medium dataset (Human Chr14 class).
+MEDIUM_GENOME_CONFIG = ParaHashConfig(k=27, p=11, n_partitions=32)
+
+#: Paper defaults for a big dataset (Bumblebee class).
+BIG_GENOME_CONFIG = ParaHashConfig(k=27, p=19, n_partitions=64)

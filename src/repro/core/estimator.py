@@ -1,0 +1,116 @@
+"""Graph-size estimation (the paper's Property 1) and hash-table sizing.
+
+ParaHash avoids hash-table resizing — "rebuilding the hash table is
+expensive" — by bounding the number of distinct vertices up front
+(§III-C1).  The bound comes from the sequencing-error model: errors per
+read are Poisson with mean λ, an error at a random read position
+corrupts up to K kmers, and each erroneous kmer is likely a fresh
+distinct vertex.  The appendix derives
+
+    E[#erroneous kmers per read] <= λ · Θ(L/4)
+
+so the expected number of distinct vertices is ``Θ(λ/4 · L·N + Ge)``.
+Per superkmer partition, the table is sized as ``λ/(4α) · N_kmer_i``
+with load ratio α (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def expected_erroneous_kmers_per_error(read_length: int, k: int) -> float:
+    """Exact ``E[Y | X = 1]`` from the appendix proof.
+
+    A single error at a uniform position of a length-L read corrupts as
+    many kmers as cover that position.  The two regimes of the proof:
+
+    * ``K <= (L+1)/2``: interior positions are covered by K kmers;
+      ``E = K(L-2K+2)/L + 2/L · Σ_{m=1}^{K-1} m``.
+    * ``K >= (L+1)/2``: at most ``L-K+1`` kmers exist;
+      ``E = (L-K+1)(2K-L)/L + 2/L · Σ_{m=1}^{L-K} m``.
+
+    Both are bounded by Θ(L/4), which is where the paper's λ/4·L factor
+    comes from.
+    """
+    length, kk = read_length, k
+    if not 1 <= kk <= length:
+        raise ValueError(f"need 1 <= k <= read_length, got k={kk}, L={length}")
+    if 2 * kk <= length + 1:
+        full = kk * (length - 2 * kk + 2) / length
+        tail = kk * (kk - 1) / length  # 2/L * sum_{m=1}^{K-1} m
+        return full + tail
+    n_kmers = length - kk + 1
+    full = n_kmers * (2 * kk - length) / length
+    tail = (length - kk) * (length - kk + 1) / length
+    return full + tail
+
+
+def expected_erroneous_kmers_per_read(read_length: int, k: int, lam: float) -> float:
+    """``E[Y] <= λ · E[Y | X=1]`` (paper Eq. 3)."""
+    if lam < 0:
+        raise ValueError("lambda must be >= 0")
+    return lam * expected_erroneous_kmers_per_error(read_length, k)
+
+
+def expected_distinct_vertices(
+    n_reads: int, read_length: int, k: int, genome_size: int, lam: float
+) -> float:
+    """Property 1: expected graph size ``Θ(λ/4·LN + Ge)``.
+
+    Uses the exact per-read expectation rather than the Θ(L/4) bound,
+    capped at the trivial upper bound N(L-K+1) (there cannot be more
+    distinct vertices than kmer instances).
+    """
+    erroneous = n_reads * expected_erroneous_kmers_per_read(read_length, k, lam)
+    estimate = erroneous + genome_size
+    return min(estimate, n_reads * (read_length - k + 1))
+
+
+@dataclass(frozen=True)
+class SizingPolicy:
+    """How partition hash tables are sized.
+
+    Attributes
+    ----------
+    lam:
+        λ used in the sizing formula.  The paper sets λ = 2 in all
+        experiments, deliberately generous so resizing never happens.
+    alpha:
+        Load ratio α ∈ [0.5, 0.8]; capacity is the estimate divided by α.
+    min_capacity:
+        Floor on any table's capacity (keeps tiny partitions sane).
+    """
+
+    lam: float = 2.0
+    alpha: float = 0.7
+    min_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.lam < 0:
+            raise ValueError("lambda must be >= 0")
+        if self.min_capacity < 1:
+            raise ValueError("min_capacity must be >= 1")
+
+    def estimated_distinct(self, n_kmers_in_partition: int) -> float:
+        """The paper's per-partition estimate ``λ/4 · N_kmer_i``."""
+        return self.lam / 4.0 * n_kmers_in_partition
+
+    def capacity_for(self, n_kmers_in_partition: int) -> int:
+        """Power-of-two capacity ``>= λ/(4α) · N_kmer_i``."""
+        raw = self.estimated_distinct(n_kmers_in_partition) / self.alpha
+        return next_power_of_two(max(self.min_capacity, int(raw) + 1))
+
+    def table_bytes(self, n_kmers_in_partition: int, n_words: int = 1) -> int:
+        """Approximate memory of one sized table (state + keys + counters)."""
+        cap = self.capacity_for(n_kmers_in_partition)
+        return cap * (1 + 8 * n_words + 4 * 9)
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return 1 << (n - 1).bit_length()

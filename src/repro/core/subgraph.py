@@ -1,0 +1,162 @@
+"""Subgraph construction from superkmer partitions (ParaHash Step 2).
+
+For each superkmer in a partition we "generate multiple <kmer, edge>
+pairs according to the superkmer length, and insert the <kmer, edge>
+pairs in the hash table" (§III-C2).  Here the pair is a ``(canonical
+kmer, counter slot)`` observation:
+
+* every kmer instance contributes one multiplicity observation;
+* every adjacent pair *inside* a superkmer contributes a successor
+  observation on the left kmer and a predecessor observation on the
+  right kmer;
+* the partition's **extension bases** contribute the cut edges: the
+  first kmer's predecessor and the last kmer's successor, when the
+  superkmer did not touch the read boundary.
+
+Because MSP routes all duplicates of a kmer to one partition, the union
+of all subgraphs is exactly the reference graph — the test suite checks
+this equality bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dna.kmer import canonical_with_flip
+from ..graph.dbg import (
+    MULT_SLOT,
+    DeBruijnGraph,
+    graph_from_pairs,
+    slot_for_predecessor,
+    slot_for_successor,
+)
+from ..msp.records import SuperkmerBlock
+from .estimator import SizingPolicy, next_power_of_two
+from .hashtable import ConcurrentHashTable, HashStats, TableFullError
+
+
+def block_observations(block: SuperkmerBlock) -> tuple[np.ndarray, np.ndarray]:
+    """All ``(canonical vertex, counter slot)`` observations of a block.
+
+    Vectorized end to end; returns parallel arrays ready for
+    :meth:`ConcurrentHashTable.insert_batch` (or, for the sort-merge
+    baselines, :func:`repro.graph.dbg.graph_from_pairs`).
+    """
+    k = block.k
+    if block.n_superkmers == 0:
+        empty = np.zeros(0, dtype=np.uint64)
+        return empty, empty.copy()
+    kmers, positions = block.flat_kmers()
+    can, flip = canonical_with_flip(kmers, k)
+
+    per_sk = block.kmers_per_superkmer
+    total = int(per_sk.sum())
+    sk_ids = np.repeat(np.arange(block.n_superkmers, dtype=np.int64), per_sk)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(per_sk)[:-1])), per_sk
+    )
+    is_first = ramp == 0
+    is_last = ramp == (per_sk[sk_ids] - 1)
+
+    bases = block.bases
+    t = bases.size
+    # Successor base: the base after the kmer inside the superkmer, or
+    # the right extension for the superkmer's last kmer.
+    succ_pos = np.minimum(positions + k, t - 1)
+    next_base = bases[succ_pos].astype(np.int16)
+    next_base[is_last] = block.right_ext[sk_ids[is_last]].astype(np.int16)
+    # Predecessor base: the base before the kmer, or the left extension.
+    pred_pos = np.maximum(positions - 1, 0)
+    prev_base = bases[pred_pos].astype(np.int16)
+    prev_base[is_first] = block.left_ext[sk_ids[is_first]].astype(np.int16)
+
+    mult_v = can
+    mult_s = np.full(total, MULT_SLOT, dtype=np.int64)
+
+    has_succ = next_base >= 0
+    succ_v = can[has_succ]
+    succ_s = slot_for_successor(flip[has_succ], next_base[has_succ]).astype(np.int64)
+
+    has_pred = prev_base >= 0
+    pred_v = can[has_pred]
+    pred_s = slot_for_predecessor(flip[has_pred], prev_base[has_pred]).astype(np.int64)
+
+    vertex_ids = np.concatenate([mult_v, succ_v, pred_v])
+    slots = np.concatenate([mult_s, succ_s, pred_s])
+    return vertex_ids, slots
+
+
+@dataclass
+class SubgraphResult:
+    """One constructed subgraph plus its construction telemetry."""
+
+    graph: DeBruijnGraph
+    stats: HashStats
+    capacity: int
+    n_kmers: int
+    table_bytes: int
+    n_regrows: int = 0
+
+
+def build_subgraph(
+    block: SuperkmerBlock,
+    policy: SizingPolicy | None = None,
+    n_threads: int = 1,
+    allow_regrow: bool = True,
+) -> SubgraphResult:
+    """Construct one subgraph with the concurrent hash table.
+
+    ``n_threads == 1`` uses the vectorized batch path; more threads run
+    the real per-operation state machine concurrently (slow; meant for
+    correctness validation, not throughput).
+
+    The table is sized once from Property 1 and, on genomic data, never
+    resizes — that is the paper's design.  Inputs that violate the
+    estimate (e.g. coverage < 1, where nearly every kmer is distinct)
+    would overflow the fixed table; with ``allow_regrow`` the build
+    retries with doubled capacity and reports ``n_regrows > 0`` so
+    callers can see the estimate was breached.  With
+    ``allow_regrow=False`` the overflow raises
+    :class:`repro.core.hashtable.TableFullError` instead.
+    """
+    policy = policy or SizingPolicy()
+    n_kmers = block.total_kmers()
+    capacity = policy.capacity_for(max(1, n_kmers))
+    vertex_ids, slots = block_observations(block)
+    n_regrows = 0
+    while True:
+        table = ConcurrentHashTable(capacity, block.k)
+        try:
+            if n_threads == 1:
+                table.insert_batch(vertex_ids, slots)
+            else:
+                table.insert_threaded(vertex_ids, slots, n_threads)
+            break
+        except TableFullError:
+            if not allow_regrow:
+                raise
+            # Hard upper bound: there cannot be more distinct vertices
+            # than kmer instances, so capacity n_kmers/alpha always fits.
+            if capacity >= next_power_of_two(max(2, int(n_kmers / policy.alpha) + 1)):
+                raise
+            capacity *= 2
+            n_regrows += 1
+    return SubgraphResult(
+        graph=table.to_graph(),
+        stats=table.stats,
+        capacity=table.capacity,
+        n_kmers=n_kmers,
+        table_bytes=table.memory_bytes(),
+        n_regrows=n_regrows,
+    )
+
+
+def build_subgraph_sortmerge(block: SuperkmerBlock) -> DeBruijnGraph:
+    """Sort-merge construction of the same subgraph (§II-B's alternative).
+
+    Used by baselines and as an independent oracle for the hash path.
+    """
+    vertex_ids, slots = block_observations(block)
+    return graph_from_pairs(block.k, vertex_ids, slots)

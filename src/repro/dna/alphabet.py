@@ -1,0 +1,101 @@
+"""DNA alphabet and 2-bit base codes.
+
+The De Bruijn graph is defined on the alphabet ``Σ = {A, C, G, T}``
+(paper §II-A).  Every base is represented internally by a 2-bit code::
+
+    A = 0, C = 1, G = 2, T = 3
+
+The code order is lexicographic, so comparisons of packed code integers
+agree with lexicographic string comparison — a property the minimizer
+machinery (``repro.dna.minimizer``) relies on.
+
+Unknown or ambiguous bases (``N`` etc.) are mapped to ``A``, following
+the convention the paper notes for most assemblers ("All the unknown DNA
+bases are transformed to 'As'").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The DNA alphabet in code order.
+BASES = "ACGT"
+
+#: Number of symbols in the alphabet.
+ALPHABET_SIZE = 4
+
+#: Bits needed per base (log2 of the alphabet size).
+BITS_PER_BASE = 2
+
+#: Code of the complement base: A<->T, C<->G, i.e. ``3 - code``.
+COMPLEMENT_CODE = np.array([3, 2, 1, 0], dtype=np.uint8)
+
+# Lookup table mapping ASCII byte -> 2-bit code.  Unknown characters map
+# to code 0 (base 'A').  Lower-case bases are accepted.
+_ASCII_TO_CODE = np.zeros(256, dtype=np.uint8)
+for _i, _b in enumerate(BASES):
+    _ASCII_TO_CODE[ord(_b)] = _i
+    _ASCII_TO_CODE[ord(_b.lower())] = _i
+
+# Lookup table mapping 2-bit code -> ASCII byte.
+_CODE_TO_ASCII = np.frombuffer(BASES.encode("ascii"), dtype=np.uint8).copy()
+
+
+def encode(seq: str | bytes) -> np.ndarray:
+    """Encode a DNA string into an array of 2-bit codes.
+
+    Parameters
+    ----------
+    seq:
+        DNA sequence as ``str`` or ASCII ``bytes``.  Characters outside
+        ``ACGTacgt`` are treated as unknown bases and encoded as ``A``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of codes in ``{0, 1, 2, 3}``, one per base.
+    """
+    if isinstance(seq, str):
+        seq = seq.encode("ascii", errors="replace")
+    raw = np.frombuffer(seq, dtype=np.uint8)
+    return _ASCII_TO_CODE[raw]
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode an array of 2-bit codes back into a DNA string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max() >= ALPHABET_SIZE:
+        raise ValueError("base codes must be in {0, 1, 2, 3}")
+    return _CODE_TO_ASCII[codes].tobytes().decode("ascii")
+
+
+def complement(codes: np.ndarray) -> np.ndarray:
+    """Complement each base code (``A<->T``, ``C<->G``)."""
+    return COMPLEMENT_CODE[np.asarray(codes, dtype=np.uint8)]
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Reverse-complement an array of base codes."""
+    return complement(codes)[::-1]
+
+
+def is_valid_codes(codes: np.ndarray) -> bool:
+    """Return ``True`` if every element is a valid 2-bit base code."""
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        return True
+    return bool((codes >= 0).all() and (codes < ALPHABET_SIZE).all())
+
+
+def base_to_code(base: str) -> int:
+    """Return the 2-bit code for a single base character."""
+    if len(base) != 1:
+        raise ValueError("expected a single character")
+    return int(_ASCII_TO_CODE[ord(base)])
+
+
+def code_to_base(code: int) -> str:
+    """Return the base character for a single 2-bit code."""
+    if not 0 <= code < ALPHABET_SIZE:
+        raise ValueError("base codes must be in {0, 1, 2, 3}")
+    return BASES[code]

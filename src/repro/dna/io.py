@@ -1,0 +1,170 @@
+"""FASTA / FASTQ input and output.
+
+The assembler input files are plain text (paper §II-A); ParaHash accepts
+both fastq and fasta (§III-A).  These parsers are deliberately strict
+about record structure but permissive about sequence characters
+(unknown bases become ``A``, as the paper notes is conventional).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from .reads import ReadBatch
+
+
+@dataclass(frozen=True)
+class SequenceRecord:
+    """One named sequence from a FASTA/FASTQ file."""
+
+    name: str
+    sequence: str
+    quality: str | None = None
+
+
+class FormatError(ValueError):
+    """Raised when an input file violates the FASTA/FASTQ structure."""
+
+
+def _open_text(path: str | os.PathLike) -> io.TextIOBase:
+    return open(path, "rt", encoding="ascii", errors="replace")
+
+
+def read_fasta(path: str | os.PathLike) -> list[SequenceRecord]:
+    """Parse a FASTA file into records.
+
+    Multi-line sequences are concatenated.  Raises :class:`FormatError`
+    on sequence data before the first header.
+    """
+    records: list[SequenceRecord] = []
+    name: str | None = None
+    chunks: list[str] = []
+    with _open_text(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    records.append(SequenceRecord(name=name, sequence="".join(chunks)))
+                name = line[1:].strip()
+                chunks = []
+            else:
+                if name is None:
+                    raise FormatError(f"{path}:{lineno}: sequence data before first '>' header")
+                chunks.append(line)
+    if name is not None:
+        records.append(SequenceRecord(name=name, sequence="".join(chunks)))
+    return records
+
+
+def read_fastq(path: str | os.PathLike) -> list[SequenceRecord]:
+    """Parse a FASTQ file (4 lines per record) into records."""
+    records: list[SequenceRecord] = []
+    with _open_text(path) as fh:
+        lines = [ln.rstrip("\n") for ln in fh]
+    lines = [ln for ln in lines if ln]
+    if len(lines) % 4 != 0:
+        raise FormatError(f"{path}: FASTQ line count {len(lines)} is not a multiple of 4")
+    for i in range(0, len(lines), 4):
+        header, seq, plus, qual = lines[i : i + 4]
+        if not header.startswith("@"):
+            raise FormatError(f"{path}: record {i // 4}: header must start with '@'")
+        if not plus.startswith("+"):
+            raise FormatError(f"{path}: record {i // 4}: separator must start with '+'")
+        if len(qual) != len(seq):
+            raise FormatError(
+                f"{path}: record {i // 4}: quality length {len(qual)} != sequence length {len(seq)}"
+            )
+        records.append(SequenceRecord(name=header[1:], sequence=seq, quality=qual))
+    return records
+
+
+def read_sequences(path: str | os.PathLike) -> list[SequenceRecord]:
+    """Parse FASTA or FASTQ, deciding by the first non-empty character."""
+    with _open_text(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            first = line[0]
+            break
+        else:
+            return []
+    if first == ">":
+        return read_fasta(path)
+    if first == "@":
+        return read_fastq(path)
+    raise FormatError(f"{path}: cannot determine format from leading character {first!r}")
+
+
+def write_fasta(path: str | os.PathLike, records: list[SequenceRecord], width: int = 70) -> None:
+    """Write records as FASTA, wrapping sequence lines at ``width``."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    with open(path, "wt", encoding="ascii") as fh:
+        for rec in records:
+            fh.write(f">{rec.name}\n")
+            seq = rec.sequence
+            for i in range(0, len(seq), width):
+                fh.write(seq[i : i + width] + "\n")
+
+
+def write_fastq(path: str | os.PathLike, records: list[SequenceRecord]) -> None:
+    """Write records as FASTQ; missing qualities become maximal ('I')."""
+    with open(path, "wt", encoding="ascii") as fh:
+        for rec in records:
+            qual = rec.quality if rec.quality is not None else "I" * len(rec.sequence)
+            if len(qual) != len(rec.sequence):
+                raise FormatError(f"record {rec.name!r}: quality/sequence length mismatch")
+            fh.write(f"@{rec.name}\n{rec.sequence}\n+\n{qual}\n")
+
+
+def load_read_batch(path: str | os.PathLike) -> ReadBatch:
+    """Load a FASTA/FASTQ file of equal-length reads as a :class:`ReadBatch`."""
+    records = read_sequences(path)
+    return ReadBatch.from_strs([rec.sequence for rec in records])
+
+
+def save_read_batch(path: str | os.PathLike, batch: ReadBatch, fmt: str = "fastq") -> None:
+    """Write a :class:`ReadBatch` to disk as FASTA or FASTQ."""
+    records = [
+        SequenceRecord(name=f"read_{i}", sequence=seq)
+        for i, seq in enumerate(batch.iter_strs())
+    ]
+    if fmt == "fastq":
+        write_fastq(path, records)
+    elif fmt == "fasta":
+        write_fasta(path, records)
+    else:
+        raise ValueError(f"unknown format {fmt!r}; expected 'fasta' or 'fastq'")
+
+
+def split_input_file(path: str | os.PathLike, n_parts: int, out_dir: str | os.PathLike) -> list[Path]:
+    """Split an input FASTA/FASTQ into ``n_parts`` near-equal files.
+
+    This mirrors ParaHash Step 1 partitioning the input file to equal
+    sizes before extracting reads.  Returns the written file paths.
+    """
+    records = read_sequences(path)
+    if not records:
+        raise FormatError(f"{path}: no records to split")
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    n_parts = min(n_parts, len(records))
+    bounds = [round(i * len(records) / n_parts) for i in range(n_parts + 1)]
+    is_fastq = records[0].quality is not None
+    paths = []
+    suffix = "fastq" if is_fastq else "fasta"
+    for i in range(n_parts):
+        part = records[bounds[i] : bounds[i + 1]]
+        out_path = out_dir / f"part_{i:04d}.{suffix}"
+        if is_fastq:
+            write_fastq(out_path, part)
+        else:
+            write_fasta(out_path, part)
+        paths.append(out_path)
+    return paths

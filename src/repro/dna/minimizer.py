@@ -1,0 +1,222 @@
+"""Minimizers (P-minimum-substrings) and superkmer decomposition.
+
+Definitions from the paper (§II-A):
+
+* **P-minimum-substring** (Definition 1): for a kmer, the lexicographic
+  minimum among all its length-P substrings.
+* **Superkmer** (Definition 2): a maximal run of consecutive kmers of a
+  read that share a common P-minimum-substring; that substring is the
+  superkmer's **minimizer**.
+
+Because adjacent kmers overlap by K-1 bases, they usually share their
+minimizer, so a superkmer compacts M kmers from O(MK) to O(M + K)
+space — the foundation of the Minimum Substring Partitioning (MSP)
+algorithm that ParaHash builds on.
+
+Minimizer values are packed 2-bit integers; since the code order is
+lexicographic, integer comparison implements Definition 1's string
+comparison.  The vectorized path computes each read's p-mer values with
+a rolling update and each kmer's minimizer with a doubling
+sliding-window minimum, giving O(L log K) work per read instead of the
+naive O(LKP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .kmer import canonical_int, canonical_u64, kmer_from_codes, kmers_from_reads
+
+
+def sliding_min(values: np.ndarray, window: int) -> np.ndarray:
+    """Sliding-window minimum along the last axis.
+
+    Uses the doubling (sparse-table style) technique: after ``ceil(log2
+    window)`` passes, ``out[..., i]`` is the minimum of
+    ``values[..., i : i + window]``.
+
+    Parameters
+    ----------
+    values:
+        ``(..., m)`` array.
+    window:
+        Window width, ``1 <= window <= m``.
+    """
+    values = np.asarray(values)
+    m = values.shape[-1]
+    if not 1 <= window <= m:
+        raise ValueError(f"window must be in [1, {m}], got {window}")
+    out = values
+    covered = 1
+    while covered < window:
+        shift = min(covered, window - covered)
+        out = np.minimum(out[..., : out.shape[-1] - shift], out[..., shift:])
+        covered += shift
+    return out
+
+
+def minimizers_for_reads(
+    codes: np.ndarray, k: int, p: int, canonical: bool = True
+) -> np.ndarray:
+    """Minimizer of every kmer in a batch of equal-length reads.
+
+    Parameters
+    ----------
+    codes:
+        ``(n_reads, L)`` uint8 matrix of base codes.
+    k, p:
+        Kmer length and minimizer length, ``1 <= p <= k``.
+    canonical:
+        When ``True`` (the default), each length-P substring is taken in
+        its canonical form (minimum of itself and its reverse
+        complement) before the window minimum.  This makes the
+        minimizer **strand-invariant**: a kmer and its reverse
+        complement get the same minimizer, so both orientations of a
+        graph vertex are routed to the same partition.  Vertex-disjoint
+        partitioning — the MSP guarantee the paper relies on for
+        bi-directed graphs — requires it.  ``False`` gives the literal
+        Definition 1 (plain lexicographic minimum substring).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_reads, L - k + 1)`` uint64 matrix of packed minimizer
+        values; ``[i, j]`` is the P-minimum-substring of kmer ``j`` of
+        read ``i``.
+    """
+    _check_kp(k, p)
+    pmers = kmers_from_reads(codes, p)  # (n, L - p + 1)
+    if canonical:
+        pmers = canonical_u64(pmers, p)
+    window = k - p + 1  # p-mers per kmer
+    return sliding_min(pmers, window)
+
+
+def _check_kp(k: int, p: int) -> None:
+    if not 1 <= p <= k:
+        raise ValueError(f"minimizer length p must satisfy 1 <= p <= k, got p={p}, k={k}")
+
+
+@dataclass(frozen=True)
+class SuperkmerSet:
+    """Superkmers of a read batch, as a structure of arrays.
+
+    Attributes
+    ----------
+    read_idx:
+        Read index of each superkmer.
+    start:
+        Index (within the read) of the superkmer's first kmer; the
+        superkmer spans bases ``[start, start + n_kmers + k - 2]``.
+    n_kmers:
+        Number of kmers the superkmer contains; its base length is
+        ``n_kmers + k - 1``.
+    minimizer:
+        Packed minimizer value shared by all its kmers.
+    k:
+        Kmer length the decomposition used.
+    read_length:
+        Length of every read in the batch.
+    """
+
+    read_idx: np.ndarray
+    start: np.ndarray
+    n_kmers: np.ndarray
+    minimizer: np.ndarray
+    k: int
+    read_length: int
+
+    def __len__(self) -> int:
+        return int(self.read_idx.size)
+
+    @property
+    def base_lengths(self) -> np.ndarray:
+        """Base length of each superkmer (``n_kmers + k - 1``)."""
+        return self.n_kmers + (self.k - 1)
+
+    def total_kmers(self) -> int:
+        """Total kmers across all superkmers."""
+        return int(self.n_kmers.sum())
+
+
+def superkmers_for_reads(
+    codes: np.ndarray, k: int, p: int, canonical: bool = True
+) -> SuperkmerSet:
+    """Decompose a batch of equal-length reads into superkmers.
+
+    Consecutive kmers with equal minimizer *values* are grouped; a new
+    superkmer starts at every read start and at every minimizer change.
+    The output order is row-major (all superkmers of read 0 first, in
+    left-to-right order), which downstream code relies on.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    minis = minimizers_for_reads(codes, k, p, canonical=canonical)  # (n, nk)
+    n, n_kmers = minis.shape
+    change = np.ones(minis.shape, dtype=bool)
+    change[:, 1:] = minis[:, 1:] != minis[:, :-1]
+    read_idx, starts = np.nonzero(change)
+    # The end of each superkmer is the start of the next one in the same
+    # read, or n_kmers for the last superkmer of a read.  np.nonzero is
+    # row-major so boundaries line up with shifted arrays.
+    ends = np.empty_like(starts)
+    if starts.size:
+        same_read = np.empty(starts.size, dtype=bool)
+        same_read[:-1] = read_idx[:-1] == read_idx[1:]
+        same_read[-1] = False
+        ends[:-1] = np.where(same_read[:-1], starts[1:], n_kmers)
+        ends[-1] = n_kmers
+    return SuperkmerSet(
+        read_idx=read_idx.astype(np.int64),
+        start=starts.astype(np.int32),
+        n_kmers=(ends - starts).astype(np.int32),
+        minimizer=minis[read_idx, starts],
+        k=k,
+        read_length=codes.shape[1],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (slow, obviously correct; used in tests)
+# ---------------------------------------------------------------------------
+
+def minimizer_of_kmer_ref(codes: np.ndarray, p: int, canonical: bool = True) -> int:
+    """Reference P-minimum-substring of a single kmer (Definition 1).
+
+    With ``canonical`` the substrings are canonicalized first (the
+    strand-invariant variant the partitioner uses).
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    k = len(codes)
+    _check_kp(k, p)
+    values = (kmer_from_codes(codes[i : i + p]) for i in range(k - p + 1))
+    if canonical:
+        return min(canonical_int(v, p) for v in values)
+    return min(values)
+
+
+def superkmers_of_read_ref(
+    codes: np.ndarray, k: int, p: int, canonical: bool = True
+) -> list[tuple[int, int, int]]:
+    """Reference superkmer decomposition of one read (Definition 2).
+
+    Returns ``(start_kmer_index, n_kmers, minimizer)`` tuples in
+    left-to-right order.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    _check_kp(k, p)
+    n_kmers = len(codes) - k + 1
+    if n_kmers <= 0:
+        raise ValueError(f"read of length {len(codes)} has no kmers for k={k}")
+    minis = [
+        minimizer_of_kmer_ref(codes[i : i + k], p, canonical=canonical)
+        for i in range(n_kmers)
+    ]
+    groups: list[tuple[int, int, int]] = []
+    start = 0
+    for i in range(1, n_kmers + 1):
+        if i == n_kmers or minis[i] != minis[start]:
+            groups.append((start, i - start, minis[start]))
+            start = i
+    return groups

@@ -1,0 +1,126 @@
+"""Paired-end read simulation and interleaved FASTQ I/O.
+
+Real NGS runs (including the GAGE datasets of Table I) are paired-end:
+fragments of a known insert-size distribution are sequenced from both
+ends, giving an R1 (forward) and an R2 (reverse-complemented far end)
+per fragment.  De Bruijn graph construction treats the mates as
+independent reads — both ends feed kmers — so ParaHash consumes a
+paired dataset as a plain :class:`ReadBatch`; the pairing metadata
+matters to downstream scaffolding, which is out of scope here, but the
+simulator and interleaved-file round trip make the input side faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alphabet import ALPHABET_SIZE
+from .io import SequenceRecord, read_sequences, write_fastq
+from .reads import ReadBatch
+
+
+@dataclass(frozen=True)
+class PairedReads:
+    """Mated read batches: row i of R1 pairs with row i of R2."""
+
+    r1: ReadBatch
+    r2: ReadBatch
+
+    def __post_init__(self) -> None:
+        if self.r1.n_reads != self.r2.n_reads:
+            raise ValueError("R1 and R2 must have the same number of reads")
+        if self.r1.read_length != self.r2.read_length:
+            raise ValueError("R1 and R2 must have the same read length")
+
+    @property
+    def n_pairs(self) -> int:
+        return self.r1.n_reads
+
+    def as_single_batch(self) -> ReadBatch:
+        """All mates as one batch — the graph-construction input."""
+        return ReadBatch(codes=np.concatenate([self.r1.codes, self.r2.codes]))
+
+
+def simulate_paired_reads(
+    genome: np.ndarray,
+    n_pairs: int,
+    read_length: int,
+    insert_mean: float,
+    insert_std: float = 0.0,
+    mean_errors: float = 1.0,
+    seed: int = 0,
+) -> PairedReads:
+    """Sample paired-end reads with a Gaussian insert-size distribution.
+
+    Each fragment is placed uniformly; R1 reads its 5' end forward, R2
+    reads its 3' end reverse-complemented (standard FR orientation).
+    Substitution errors follow the same per-read Poisson model as
+    :func:`repro.dna.simulate.simulate_reads`.
+    """
+    genome = np.asarray(genome, dtype=np.uint8)
+    if insert_mean < read_length:
+        raise ValueError("insert size must be >= read length")
+    if insert_mean > genome.size:
+        raise ValueError("insert size exceeds genome size")
+    if n_pairs < 0:
+        raise ValueError("n_pairs must be >= 0")
+    rng = np.random.default_rng(seed)
+    inserts = np.clip(
+        np.round(rng.normal(insert_mean, insert_std, size=n_pairs)).astype(int),
+        read_length,
+        genome.size,
+    )
+    starts = np.array([
+        int(rng.integers(0, genome.size - ins + 1)) for ins in inserts
+    ], dtype=np.int64) if n_pairs else np.zeros(0, dtype=np.int64)
+
+    offsets = np.arange(read_length)
+    r1 = genome[starts[:, None] + offsets[None, :]].astype(np.uint8) \
+        if n_pairs else np.zeros((0, read_length), dtype=np.uint8)
+    ends = starts + inserts - read_length
+    r2_fwd = genome[ends[:, None] + offsets[None, :]].astype(np.uint8) \
+        if n_pairs else np.zeros((0, read_length), dtype=np.uint8)
+    r2 = (r2_fwd[:, ::-1] ^ 3).astype(np.uint8)  # reverse complement
+
+    def add_errors(codes: np.ndarray, sub_seed: int) -> np.ndarray:
+        if mean_errors <= 0 or not codes.size:
+            return codes
+        err_rng = np.random.default_rng(sub_seed)
+        n_errors = np.minimum(
+            err_rng.poisson(mean_errors, size=codes.shape[0]), read_length
+        )
+        total = int(n_errors.sum())
+        if total:
+            rows = np.repeat(np.arange(codes.shape[0]), n_errors)
+            cols = err_rng.integers(0, read_length, size=total)
+            bump = err_rng.integers(1, ALPHABET_SIZE, size=total).astype(np.uint8)
+            codes[rows, cols] = (codes[rows, cols] + bump) % ALPHABET_SIZE
+        return codes
+
+    return PairedReads(
+        r1=ReadBatch(codes=add_errors(r1, seed + 1)),
+        r2=ReadBatch(codes=add_errors(r2, seed + 2)),
+    )
+
+
+def write_interleaved_fastq(path, pairs: PairedReads) -> None:
+    """Write mates interleaved (R1, R2, R1, R2, ...) with /1 /2 names."""
+    records = []
+    for i in range(pairs.n_pairs):
+        records.append(SequenceRecord(name=f"pair_{i}/1",
+                                      sequence=pairs.r1.read_str(i)))
+        records.append(SequenceRecord(name=f"pair_{i}/2",
+                                      sequence=pairs.r2.read_str(i)))
+    write_fastq(path, records)
+
+
+def read_interleaved_fastq(path) -> PairedReads:
+    """Read an interleaved FASTQ back into mated batches."""
+    records = read_sequences(path)
+    if len(records) % 2:
+        raise ValueError(f"{path}: interleaved file has an odd record count")
+    r1 = ReadBatch.from_strs([r.sequence for r in records[0::2]])
+    r2 = ReadBatch.from_strs([r.sequence for r in records[1::2]])
+    return PairedReads(r1=r1, r2=r2)

@@ -1,0 +1,273 @@
+"""The De Bruijn graph store: canonical vertices with weighted adjacency.
+
+Definition 3 of the paper: the construction outputs, for every distinct
+vertex, an adjacency list in which each adjacent vertex carries a weight
+equal to the number of occurrences of the pair.  A vertex is a
+*canonical* kmer (the lexicographic minimum of a kmer and its reverse
+complement), so the graph is bi-directed.
+
+Because two adjacent vertices overlap in K-1 bases, an edge is fully
+identified by a single base — "the rightmost or leftmost character on
+the destination vertex ... is used as the array index" (§III-C2).  Each
+vertex therefore stores exactly **eight edge-multiplicity counters**
+plus its own occurrence count:
+
+====== =========================================================
+slot   meaning (relative to the canonical-forward orientation)
+====== =========================================================
+0..3   ``out[b]`` — successor reached by appending base ``b``
+4..7   ``in[b]``  — predecessor formed by prepending base ``b``
+8      multiplicity of the vertex itself (kmer occurrence count)
+====== =========================================================
+
+The store is a pair of parallel arrays sorted by vertex value, which
+makes graphs directly comparable, mergeable and binary-searchable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dna.kmer import kmer_mask, kmer_to_str, revcomp_int
+
+#: Number of counters per vertex: 4 out-edges, 4 in-edges, multiplicity.
+N_SLOTS = 9
+OUT_BASE = 0
+IN_BASE = 4
+MULT_SLOT = 8
+
+
+def slot_for_successor(flipped: np.ndarray, next_base: np.ndarray) -> np.ndarray:
+    """Counter slot for an observed successor edge.
+
+    ``flipped`` marks kmer instances whose canonical form is the reverse
+    complement of the read orientation; for those, a right extension in
+    the read is a left extension of the canonical form with the
+    complemented base.
+    """
+    next_base = np.asarray(next_base)
+    flipped = np.asarray(flipped)
+    return np.where(flipped, IN_BASE + (3 - next_base), OUT_BASE + next_base)
+
+
+def slot_for_predecessor(flipped: np.ndarray, prev_base: np.ndarray) -> np.ndarray:
+    """Counter slot for an observed predecessor edge (mirror of successor)."""
+    prev_base = np.asarray(prev_base)
+    flipped = np.asarray(flipped)
+    return np.where(flipped, OUT_BASE + (3 - prev_base), IN_BASE + prev_base)
+
+
+@dataclass
+class DeBruijnGraph:
+    """A constructed De Bruijn (sub)graph.
+
+    Attributes
+    ----------
+    k:
+        Kmer length of the vertices.
+    vertices:
+        Sorted ``uint64`` array of distinct canonical kmers.
+    counts:
+        ``(n_vertices, 9)`` uint64 counter matrix (see module docstring).
+    """
+
+    k: int
+    vertices: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=np.uint64)
+        self.counts = np.asarray(self.counts, dtype=np.uint64)
+        if self.counts.shape != (self.vertices.size, N_SLOTS):
+            raise ValueError(
+                f"counts shape {self.counts.shape} does not match "
+                f"({self.vertices.size}, {N_SLOTS})"
+            )
+        if self.vertices.size > 1 and not (self.vertices[1:] > self.vertices[:-1]).all():
+            raise ValueError("vertices must be strictly sorted")
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of distinct vertices (the paper's graph-size metric)."""
+        return int(self.vertices.size)
+
+    def total_kmer_instances(self) -> int:
+        """Total kmer occurrences absorbed (distinct + duplicates)."""
+        return int(self.counts[:, MULT_SLOT].sum())
+
+    def n_duplicate_vertices(self) -> int:
+        """Occurrences beyond the first per vertex (Table I's duplicates)."""
+        return self.total_kmer_instances() - self.n_vertices
+
+    def total_edge_weight(self) -> int:
+        """Sum of all edge multiplicities over all adjacency lists.
+
+        Every observed adjacent pair contributes one unit at *each*
+        endpoint, so this equals twice the number of observed pairs.
+        """
+        return int(self.counts[:, OUT_BASE:MULT_SLOT].sum())
+
+    def __len__(self) -> int:
+        return self.n_vertices
+
+    def __contains__(self, kmer: int) -> bool:
+        return self.index_of(int(kmer)) >= 0
+
+    def index_of(self, kmer: int) -> int:
+        """Row index of a canonical kmer, or -1 when absent."""
+        i = int(np.searchsorted(self.vertices, np.uint64(kmer)))
+        if i < self.vertices.size and int(self.vertices[i]) == int(kmer):
+            return i
+        return -1
+
+    def multiplicity(self, kmer: int) -> int:
+        """Occurrence count of a canonical kmer (0 when absent)."""
+        i = self.index_of(kmer)
+        return int(self.counts[i, MULT_SLOT]) if i >= 0 else 0
+
+    def edge_counts(self, kmer: int) -> np.ndarray:
+        """The 8 edge counters of a vertex (zeros when absent)."""
+        i = self.index_of(kmer)
+        if i < 0:
+            return np.zeros(8, dtype=np.uint64)
+        return self.counts[i, OUT_BASE:MULT_SLOT].copy()
+
+    def successors(self, kmer: int) -> list[tuple[int, int]]:
+        """``(canonical_neighbor, weight)`` for each non-zero out slot."""
+        return self._neighbors(kmer, out_side=True)
+
+    def predecessors(self, kmer: int) -> list[tuple[int, int]]:
+        """``(canonical_neighbor, weight)`` for each non-zero in slot."""
+        return self._neighbors(kmer, out_side=False)
+
+    def _neighbors(self, kmer: int, out_side: bool) -> list[tuple[int, int]]:
+        i = self.index_of(kmer)
+        if i < 0:
+            return []
+        mask = kmer_mask(self.k)
+        result = []
+        base_slot = OUT_BASE if out_side else IN_BASE
+        for b in range(4):
+            weight = int(self.counts[i, base_slot + b])
+            if weight == 0:
+                continue
+            if out_side:
+                neighbor = ((int(kmer) << 2) | b) & mask
+            else:
+                neighbor = (b << (2 * (self.k - 1))) | (int(kmer) >> 2)
+            canon = min(neighbor, revcomp_int(neighbor, self.k))
+            result.append((canon, weight))
+        return result
+
+    def degree(self, kmer: int) -> int:
+        """Number of distinct adjacent vertices recorded for a vertex."""
+        counts = self.edge_counts(kmer)
+        return int((counts > 0).sum())
+
+    # -- transformations ----------------------------------------------------
+
+    def filter_min_multiplicity(self, min_multiplicity: int) -> "DeBruijnGraph":
+        """Drop vertices seen fewer than ``min_multiplicity`` times.
+
+        Erroneous kmers "can only be filtered by the number of their
+        occurrences after the graph is constructed" (§III-C1); this is
+        that filter.  Edges pointing at dropped vertices are retained on
+        the surviving endpoint (they identify the dropped neighbor).
+        """
+        keep = self.counts[:, MULT_SLOT] >= np.uint64(min_multiplicity)
+        return DeBruijnGraph(
+            k=self.k, vertices=self.vertices[keep], counts=self.counts[keep]
+        )
+
+    def filter_min_edge_weight(self, min_weight: int) -> "DeBruijnGraph":
+        """Zero out edges observed fewer than ``min_weight`` times.
+
+        Edge weights exist precisely to guide traversal ("Edge weights
+        are used in determining the traversal paths for assembly",
+        §II-B): low-weight edges are sequencing-error artifacts.  The
+        vertex set and multiplicities are unchanged.
+        """
+        counts = self.counts.copy()
+        edges = counts[:, OUT_BASE:MULT_SLOT]
+        edges[edges < np.uint64(min_weight)] = 0
+        return DeBruijnGraph(k=self.k, vertices=self.vertices.copy(), counts=counts)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the vertex and counter arrays."""
+        return int(self.vertices.nbytes + self.counts.nbytes)
+
+    # -- comparison ---------------------------------------------------------
+
+    def equals(self, other: "DeBruijnGraph") -> bool:
+        """Exact equality of vertex sets and all counters."""
+        return (
+            self.k == other.k
+            and self.vertices.size == other.vertices.size
+            and bool(np.array_equal(self.vertices, other.vertices))
+            and bool(np.array_equal(self.counts, other.counts))
+        )
+
+    def describe(self) -> dict:
+        """Summary statistics used by the benchmark tables."""
+        return {
+            "k": self.k,
+            "n_vertices": self.n_vertices,
+            "n_duplicates": self.n_duplicate_vertices(),
+            "total_kmer_instances": self.total_kmer_instances(),
+            "total_edge_weight": self.total_edge_weight(),
+            "memory_bytes": self.memory_bytes(),
+        }
+
+    def vertex_str(self, i: int) -> str:
+        """DNA string of vertex row ``i`` (debugging aid)."""
+        return kmer_to_str(int(self.vertices[i]), self.k)
+
+
+def empty_graph(k: int) -> DeBruijnGraph:
+    """A graph with no vertices."""
+    return DeBruijnGraph(
+        k=k,
+        vertices=np.zeros(0, dtype=np.uint64),
+        counts=np.zeros((0, N_SLOTS), dtype=np.uint64),
+    )
+
+
+def graph_from_pairs(k: int, vertex_ids: np.ndarray, slots: np.ndarray) -> DeBruijnGraph:
+    """Aggregate ``(vertex, slot)`` observation pairs into a graph.
+
+    Every pair increments one counter.  This is the shared aggregation
+    kernel of the reference builder and of the sort-merge baselines: it
+    sorts the pairs and merges duplicates, exactly the "sort-merge"
+    strategy of §II-B, implemented with numpy.
+    """
+    vertex_ids = np.asarray(vertex_ids, dtype=np.uint64).ravel()
+    slots = np.asarray(slots, dtype=np.uint64).ravel()
+    if vertex_ids.shape != slots.shape:
+        raise ValueError("vertex_ids and slots must have equal length")
+    if vertex_ids.size == 0:
+        return empty_graph(k)
+    if slots.size and int(slots.max()) >= N_SLOTS:
+        raise ValueError("slot values must be < 9")
+    if 2 * k + 4 <= 64:
+        # Fast path: pack (vertex, slot) into one uint64 key.
+        keys = (vertex_ids << np.uint64(4)) | slots
+        unique_keys, key_counts = np.unique(keys, return_counts=True)
+        u_vertices = unique_keys >> np.uint64(4)
+        u_slots = (unique_keys & np.uint64(0xF)).astype(np.int64)
+    else:
+        order = np.lexsort((slots, vertex_ids))
+        sv, ss = vertex_ids[order], slots[order]
+        boundary = np.ones(sv.size, dtype=bool)
+        boundary[1:] = (sv[1:] != sv[:-1]) | (ss[1:] != ss[:-1])
+        starts = np.nonzero(boundary)[0]
+        key_counts = np.diff(np.append(starts, sv.size))
+        u_vertices = sv[starts]
+        u_slots = ss[starts].astype(np.int64)
+    vertices, inverse = np.unique(u_vertices, return_inverse=True)
+    counts = np.zeros((vertices.size, N_SLOTS), dtype=np.uint64)
+    np.add.at(counts, (inverse, u_slots), key_counts.astype(np.uint64))
+    return DeBruijnGraph(k=k, vertices=vertices, counts=counts)

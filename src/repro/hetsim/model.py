@@ -1,0 +1,117 @@
+"""The §IV performance model — Equations (1) and (2).
+
+The model estimates a step's elapsed time from component times measured
+in isolation, under the assumption that asynchronous transfer makes the
+CPU computation, GPU computation and disk IO independent:
+
+    T_i = max{T_CPU, T_GPU, T_IO} + (1/n_i)(T_input + T_output)
+    T_CPU = T_CPU_compute
+    T_GPU = T_GPU_compute + T_DH_transfer
+    T_IO  = (n_i - 1)/n_i * max{T_input, T_output}           (Eq. 1)
+
+and, for the compute-bound Case 1 (T_IO << min{T_CPU_only,
+T_single_GPU}), the ideal co-processing time with N_GPU devices:
+
+    1 / (1/T_only_CPU + N_GPU / T_single_GPU)                (Eq. 2)
+
+Case 2 (T_IO > max components) degenerates to
+``T_IO + (1/n)(T_input + T_output)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StepComponents:
+    """Isolated component times of one step (seconds).
+
+    ``t_gpu`` already includes host-device transfer for each GPU, as in
+    the paper's measurement convention ("We measure the GPU computation
+    time with the host and device data transfer time included").
+    """
+
+    t_cpu: float  # CPU compute, 0 when the CPU does not compute
+    t_gpus: tuple[float, ...]  # per-GPU compute + DH transfer
+    t_input: float
+    t_output: float
+    n_partitions: int
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if min((self.t_cpu, self.t_input, self.t_output) + self.t_gpus, default=0) < 0:
+            raise ValueError("component times must be >= 0")
+
+
+def t_io(components: StepComponents) -> float:
+    """``(n-1)/n * max{T_input, T_output}`` (pipelined IO term)."""
+    n = components.n_partitions
+    return (n - 1) / n * max(components.t_input, components.t_output)
+
+
+def estimate_step_time(components: StepComponents) -> float:
+    """Equation (1): the pipelined elapsed time of one step."""
+    t_gpu = max(components.t_gpus, default=0.0)
+    overlap = max(components.t_cpu, t_gpu, t_io(components))
+    startup = (components.t_input + components.t_output) / components.n_partitions
+    return overlap + startup
+
+
+def ideal_coprocessing_time(
+    t_cpu_only: float, t_single_gpu: float, n_gpus: int, use_cpu: bool = True
+) -> float:
+    """Equation (2): ideal Case 1 elapsed with speed-proportional sharing.
+
+    Speeds add: the CPU contributes ``1/T_CPU_only``, each GPU
+    ``1/T_single_GPU``.  ``use_cpu=False`` gives the GPU-only
+    configurations of Fig 13.
+    """
+    if n_gpus < 0:
+        raise ValueError("n_gpus must be >= 0")
+    speed = 0.0
+    if use_cpu:
+        if t_cpu_only <= 0:
+            raise ValueError("t_cpu_only must be positive when the CPU is used")
+        speed += 1.0 / t_cpu_only
+    if n_gpus:
+        if t_single_gpu <= 0:
+            raise ValueError("t_single_gpu must be positive when GPUs are used")
+        speed += n_gpus / t_single_gpu
+    if speed == 0.0:
+        raise ValueError("at least one processor must be enabled")
+    return 1.0 / speed
+
+
+def io_bound_time(components: StepComponents) -> float:
+    """Case 2 estimate: ``T_IO + (1/n)(T_input + T_output)``."""
+    n = components.n_partitions
+    return t_io(components) + (components.t_input + components.t_output) / n
+
+
+def classify_case(components: StepComponents) -> int:
+    """1 when IO is negligible vs every compute component, 2 when IO
+    dominates all of them, 0 for the mixed regime."""
+    io = max(components.t_input, components.t_output)
+    compute = [t for t in (components.t_cpu, *components.t_gpus) if t > 0]
+    if not compute:
+        return 2
+    if io < 0.1 * min(compute):
+        return 1
+    if io > max(compute):
+        return 2
+    return 0
+
+
+def ideal_workload_shares(
+    t_cpu_only: float, t_single_gpu: float, n_gpus: int, use_cpu: bool = True
+) -> dict[str, float]:
+    """Speed-proportional work shares (the dotted ideal line of Fig 11)."""
+    speeds: dict[str, float] = {}
+    if use_cpu:
+        speeds["cpu"] = 1.0 / t_cpu_only
+    for i in range(n_gpus):
+        speeds[f"gpu{i}"] = 1.0 / t_single_gpu
+    total = sum(speeds.values())
+    return {name: s / total for name, s in speeds.items()}

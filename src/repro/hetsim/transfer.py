@@ -1,0 +1,55 @@
+"""Disk transfer models.
+
+The evaluation exercises two IO regimes (§V-C4): a memory-cached file
+whose simulated bandwidth of several GB/s makes computation the
+bottleneck (Case 1), and a spinning-disk file at ~100 MB/s that
+dominates everything (Case 2).  A :class:`DiskModel` captures one such
+channel pair; input and output are independent channels that overlap
+(the paper overlaps input and output transfer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Sequential read/write bandwidth with a fixed per-file latency."""
+
+    name: str
+    read_bytes_per_sec: float
+    write_bytes_per_sec: float
+    latency_seconds: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.read_bytes_per_sec <= 0 or self.write_bytes_per_sec <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.latency_seconds < 0:
+            raise ValueError("latency must be >= 0")
+
+    def read_seconds(self, n_bytes: int) -> float:
+        return self.latency_seconds + n_bytes / self.read_bytes_per_sec
+
+    def write_seconds(self, n_bytes: int) -> float:
+        return self.latency_seconds + n_bytes / self.write_bytes_per_sec
+
+
+def memory_cached_disk() -> DiskModel:
+    """Case 1: the input resides in the page cache (several GB/s)."""
+    return DiskModel(
+        name="memory-cached",
+        read_bytes_per_sec=6.0e9,
+        write_bytes_per_sec=5.0e9,
+        latency_seconds=1e-6,
+    )
+
+
+def spinning_disk() -> DiskModel:
+    """Case 2: a commodity HDD (~120 MB/s sequential)."""
+    return DiskModel(
+        name="hdd",
+        read_bytes_per_sec=1.2e8,
+        write_bytes_per_sec=1.1e8,
+        latency_seconds=5e-3,
+    )

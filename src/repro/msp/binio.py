@@ -1,0 +1,164 @@
+"""2-bit encoded superkmer partition files.
+
+ParaHash encodes its MSP output with bit values — 2 bits per base —
+cutting the partition files "to about 1/4 of the size of the
+non-encoded counterpart" (§III-B) and with them the disk IO that
+dominates big-genome runs.
+
+File layout (little-endian):
+
+* header: magic ``b"PHSK"``, format version ``u8``, kmer length ``u8``,
+  reserved ``u16``, record count ``u64`` (patched on close);
+* per record: base count ``u16``, extension byte ``u8`` (bit 0 = has
+  left extension, bit 1 = has right, bits 2-3 = left base code, bits
+  4-5 = right base code), then ``ceil(n/4)`` bytes of packed bases.
+
+The extension byte carries the paper's "two extra base pairs" in packed
+form; semantically the record is the extended superkmer.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..dna.encoding import pack_codes, packed_size, unpack_codes
+from .records import NO_EXT, SuperkmerBlock, SuperkmerRecord, block_from_records
+
+MAGIC = b"PHSK"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sBBHQ")
+_REC_HEAD = struct.Struct("<HB")
+
+
+class PartitionFormatError(ValueError):
+    """Raised on a malformed partition file."""
+
+
+def _ext_byte(left_ext: int, right_ext: int) -> int:
+    flags = 0
+    if left_ext != NO_EXT:
+        flags |= 0x01 | ((left_ext & 0x3) << 2)
+    if right_ext != NO_EXT:
+        flags |= 0x02 | ((right_ext & 0x3) << 4)
+    return flags
+
+
+def _ext_from_byte(flags: int) -> tuple[int, int]:
+    left = (flags >> 2) & 0x3 if flags & 0x01 else NO_EXT
+    right = (flags >> 4) & 0x3 if flags & 0x02 else NO_EXT
+    return left, right
+
+
+class PartitionWriter:
+    """Streams superkmer records into one partition file."""
+
+    def __init__(self, path: str | os.PathLike, k: int) -> None:
+        if not 1 <= k <= 255:
+            raise ValueError("k must fit in one byte")
+        self.path = Path(path)
+        self.k = k
+        self._count = 0
+        self._fh: io.BufferedWriter | None = open(self.path, "wb")
+        self._fh.write(_HEADER.pack(MAGIC, FORMAT_VERSION, k, 0, 0))
+
+    def write_record(self, bases: np.ndarray, left_ext: int, right_ext: int) -> None:
+        """Append one superkmer (codes + extensions)."""
+        if self._fh is None:
+            raise ValueError("writer already closed")
+        n = len(bases)
+        if n < self.k:
+            raise ValueError(f"superkmer of {n} bases is shorter than k={self.k}")
+        if n > 0xFFFF:
+            raise ValueError("superkmer too long for u16 length field")
+        self._fh.write(_REC_HEAD.pack(n, _ext_byte(left_ext, right_ext)))
+        self._fh.write(pack_codes(bases))
+        self._count += 1
+
+    def write_block(self, block: SuperkmerBlock) -> None:
+        """Append every record of a block."""
+        if block.k != self.k:
+            raise ValueError(f"block k={block.k} does not match writer k={self.k}")
+        for i in range(block.n_superkmers):
+            lo, hi = int(block.offsets[i]), int(block.offsets[i + 1])
+            self.write_record(
+                block.bases[lo:hi], int(block.left_ext[i]), int(block.right_ext[i])
+            )
+
+    def close(self) -> int:
+        """Patch the record count into the header; returns the count."""
+        if self._fh is None:
+            return self._count
+        self._fh.seek(0)
+        self._fh.write(_HEADER.pack(MAGIC, FORMAT_VERSION, self.k, 0, self._count))
+        self._fh.close()
+        self._fh = None
+        return self._count
+
+    def __enter__(self) -> "PartitionWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_partition_header(path: str | os.PathLike) -> tuple[int, int]:
+    """Return ``(k, record_count)`` from a partition file header."""
+    with open(path, "rb") as fh:
+        raw = fh.read(_HEADER.size)
+    if len(raw) < _HEADER.size:
+        raise PartitionFormatError(f"{path}: truncated header")
+    magic, version, k, _reserved, count = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise PartitionFormatError(f"{path}: bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise PartitionFormatError(f"{path}: unsupported version {version}")
+    return k, count
+
+
+def read_partition(path: str | os.PathLike) -> SuperkmerBlock:
+    """Load a partition file back into a :class:`SuperkmerBlock`."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < _HEADER.size:
+        raise PartitionFormatError(f"{path}: truncated header")
+    magic, version, k, _reserved, count = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise PartitionFormatError(f"{path}: bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise PartitionFormatError(f"{path}: unsupported version {version}")
+    records: list[SuperkmerRecord] = []
+    pos = _HEADER.size
+    for i in range(count):
+        if pos + _REC_HEAD.size > len(data):
+            raise PartitionFormatError(f"{path}: truncated at record {i}")
+        n, flags = _REC_HEAD.unpack_from(data, pos)
+        pos += _REC_HEAD.size
+        nbytes = packed_size(n)
+        if pos + nbytes > len(data):
+            raise PartitionFormatError(f"{path}: truncated bases at record {i}")
+        bases = unpack_codes(data[pos : pos + nbytes], n)
+        pos += nbytes
+        left, right = _ext_from_byte(flags)
+        if n < k:
+            raise PartitionFormatError(f"{path}: record {i} shorter than k={k}")
+        records.append(SuperkmerRecord(bases=bases, left_ext=left, right_ext=right))
+    if pos != len(data):
+        raise PartitionFormatError(f"{path}: {len(data) - pos} trailing bytes")
+    return block_from_records(k, records)
+
+
+def partition_file_size(block: SuperkmerBlock) -> int:
+    """Exact on-disk size of a block in this format, in bytes."""
+    return _HEADER.size + block.byte_size_encoded()
+
+
+def write_partition(path: str | os.PathLike, block: SuperkmerBlock) -> int:
+    """Write a whole block as one partition file; returns bytes written."""
+    with PartitionWriter(path, block.k) as writer:
+        writer.write_block(block)
+    return os.path.getsize(path)

@@ -1,0 +1,96 @@
+"""Inspection of superkmer partition directories.
+
+Operational tooling for the on-disk intermediate state: summarize a
+directory of ``.phsk`` partition files (the Step 1 output / Step 2
+input) without loading the superkmers — only headers and sizes — plus a
+deep scan that loads each partition for exact kmer counts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .binio import read_partition, read_partition_header
+
+
+@dataclass(frozen=True)
+class PartitionFileInfo:
+    """Cheap (header-only) facts about one partition file."""
+
+    path: Path
+    k: int
+    n_superkmers: int
+    file_bytes: int
+
+
+@dataclass(frozen=True)
+class PartitionDirSummary:
+    """Aggregate view of a partition directory."""
+
+    files: list[PartitionFileInfo]
+    k: int
+    total_superkmers: int
+    total_bytes: int
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.files)
+
+    def superkmer_counts(self) -> np.ndarray:
+        return np.array([f.n_superkmers for f in self.files], dtype=np.int64)
+
+    def balance_cv(self) -> float:
+        """Coefficient of variation of per-partition superkmer counts."""
+        counts = self.superkmer_counts()
+        mean = counts.mean() if counts.size else 0.0
+        return float(counts.std() / mean) if mean else 0.0
+
+
+def list_partition_files(directory: str | os.PathLike) -> list[Path]:
+    """The ``.phsk`` files of a directory, sorted by name."""
+    return sorted(Path(directory).glob("*.phsk"))
+
+
+def inspect_partition_dir(directory: str | os.PathLike) -> PartitionDirSummary:
+    """Header-only summary of every partition file in a directory."""
+    paths = list_partition_files(directory)
+    if not paths:
+        raise FileNotFoundError(f"no .phsk partition files in {directory}")
+    files = []
+    ks = set()
+    for path in paths:
+        k, count = read_partition_header(path)
+        ks.add(k)
+        files.append(PartitionFileInfo(
+            path=path, k=k, n_superkmers=count,
+            file_bytes=path.stat().st_size,
+        ))
+    if len(ks) != 1:
+        raise ValueError(f"{directory}: mixed k values {sorted(ks)}")
+    return PartitionDirSummary(
+        files=files,
+        k=ks.pop(),
+        total_superkmers=sum(f.n_superkmers for f in files),
+        total_bytes=sum(f.file_bytes for f in files),
+    )
+
+
+def deep_scan_partition(path: str | os.PathLike) -> dict:
+    """Load one partition and report exact contents."""
+    block = read_partition(path)
+    lengths = block.lengths
+    return {
+        "path": str(path),
+        "k": block.k,
+        "n_superkmers": block.n_superkmers,
+        "n_kmers": block.total_kmers(),
+        "total_bases": block.total_bases(),
+        "mean_superkmer_length": float(lengths.mean()) if lengths.size else 0.0,
+        "max_superkmer_length": int(lengths.max()) if lengths.size else 0,
+        "n_with_left_ext": int((block.left_ext >= 0).sum()),
+        "n_with_right_ext": int((block.right_ext >= 0).sum()),
+    }

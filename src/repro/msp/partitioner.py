@@ -1,0 +1,193 @@
+"""The MSP graph-partitioning step (ParaHash Step 1).
+
+Each read is decomposed into superkmers; every superkmer is routed to
+partition ``hash(minimizer) % n_partitions`` together with its two
+adjacency extension bases.  Identical kmers share their minimizer, so
+all duplicates of a vertex land in the same partition — the partitions
+are vertex-disjoint subgraph descriptions (§III-B).
+
+The in-memory kernel is fully vectorized (no per-read Python loop); the
+disk-backed driver accumulates partition files over input pieces the
+way the paper's Step 1 accumulates superkmer partitions as the input is
+processed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..concurrentsub.hashfunc import partition_ids
+from ..dna.minimizer import SuperkmerSet, superkmers_for_reads
+from ..dna.reads import ReadBatch
+from .binio import PartitionWriter, read_partition
+from .records import NO_EXT, SuperkmerBlock
+
+
+@dataclass(frozen=True)
+class MspResult:
+    """Output of the in-memory MSP kernel.
+
+    Attributes
+    ----------
+    blocks:
+        One :class:`SuperkmerBlock` per partition (possibly empty).
+    superkmers:
+        The raw superkmer decomposition (for statistics).
+    k, p, n_partitions:
+        The parameters the run used.
+    """
+
+    blocks: list[SuperkmerBlock]
+    superkmers: SuperkmerSet
+    k: int
+    p: int
+    n_partitions: int
+
+    def total_kmers(self) -> int:
+        return sum(b.total_kmers() for b in self.blocks)
+
+    def kmers_per_partition(self) -> np.ndarray:
+        return np.array([b.total_kmers() for b in self.blocks], dtype=np.int64)
+
+    def superkmers_per_partition(self) -> np.ndarray:
+        return np.array([b.n_superkmers for b in self.blocks], dtype=np.int64)
+
+
+def _check_params(k: int, p: int, n_partitions: int, read_length: int) -> None:
+    if not 1 <= p <= k:
+        raise ValueError(f"need 1 <= p <= k, got p={p}, k={k}")
+    if k > read_length:
+        raise ValueError(f"k={k} exceeds read length {read_length}")
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+
+
+def partition_reads(
+    reads: ReadBatch, k: int, p: int, n_partitions: int
+) -> MspResult:
+    """Partition a read batch into superkmer blocks (vectorized).
+
+    This is the computational core the paper offloads to the GPU in
+    Step 1 (computing superkmer ids and offsets) followed by the
+    irregular gather the paper leaves on the CPU.
+    """
+    _check_params(k, p, n_partitions, reads.read_length)
+    codes = reads.codes
+    length = reads.read_length
+    sk = superkmers_for_reads(codes, k, p)
+    pids = partition_ids(sk.minimizer, n_partitions)
+
+    base_lengths = (sk.n_kmers.astype(np.int64) + (k - 1))
+    start = sk.start.astype(np.int64)
+    read_idx = sk.read_idx
+
+    # Adjacency extensions: the read base just before / after the span.
+    left_ext = np.where(
+        start > 0,
+        codes[read_idx, np.maximum(start - 1, 0)].astype(np.int8),
+        np.int8(NO_EXT),
+    )
+    end = start + base_lengths  # one past the last base
+    right_ext = np.where(
+        end < length,
+        codes[read_idx, np.minimum(end, length - 1)].astype(np.int8),
+        np.int8(NO_EXT),
+    )
+
+    # Group superkmers by partition id (stable keeps read order within
+    # a partition, matching the sequential writer).
+    order = np.argsort(pids, kind="stable")
+    bounds = np.searchsorted(pids[order], np.arange(n_partitions + 1))
+
+    flat_codes = codes.ravel()
+    base_start_flat = read_idx * length + start
+
+    blocks: list[SuperkmerBlock] = []
+    for part in range(n_partitions):
+        sel = order[bounds[part] : bounds[part + 1]]
+        lens = base_lengths[sel]
+        total = int(lens.sum())
+        offsets = np.concatenate(([0], np.cumsum(lens))).astype(np.int64)
+        if total:
+            gather = np.repeat(base_start_flat[sel], lens) + (
+                np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], lens)
+            )
+            bases = flat_codes[gather]
+        else:
+            bases = np.zeros(0, dtype=np.uint8)
+        blocks.append(
+            SuperkmerBlock(
+                k=k,
+                bases=bases,
+                offsets=offsets,
+                left_ext=left_ext[sel],
+                right_ext=right_ext[sel],
+            )
+        )
+    return MspResult(blocks=blocks, superkmers=sk, k=k, p=p, n_partitions=n_partitions)
+
+
+@dataclass(frozen=True)
+class MspRunReport:
+    """Disk-backed MSP run summary."""
+
+    paths: list[Path]
+    n_superkmers: int
+    n_kmers: int
+    bytes_written: int
+    k: int
+    p: int
+    n_partitions: int
+
+
+def partition_to_files(
+    reads: ReadBatch,
+    k: int,
+    p: int,
+    n_partitions: int,
+    out_dir: str | os.PathLike,
+    n_input_pieces: int = 1,
+) -> MspRunReport:
+    """Full Step 1: split input, partition each piece, stream to disk.
+
+    The input batch is split into ``n_input_pieces`` equal pieces (the
+    paper partitions the input file to equal size); each piece's
+    superkmers are appended to the ``n_partitions`` open partition
+    files, so partitions accumulate as the input is consumed.
+    """
+    _check_params(k, p, n_partitions, reads.read_length)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = [out / f"partition_{i:04d}.phsk" for i in range(n_partitions)]
+    writers = [PartitionWriter(path, k) for path in paths]
+    n_superkmers = 0
+    n_kmers = 0
+    try:
+        for piece in reads.split(n_input_pieces):
+            result = partition_reads(piece, k, p, n_partitions)
+            for writer, block in zip(writers, result.blocks):
+                writer.write_block(block)
+            n_superkmers += len(result.superkmers)
+            n_kmers += result.total_kmers()
+    finally:
+        for writer in writers:
+            writer.close()
+    bytes_written = sum(os.path.getsize(path) for path in paths)
+    return MspRunReport(
+        paths=paths,
+        n_superkmers=n_superkmers,
+        n_kmers=n_kmers,
+        bytes_written=bytes_written,
+        k=k,
+        p=p,
+        n_partitions=n_partitions,
+    )
+
+
+def load_partitions(paths: list[Path] | list[str]) -> list[SuperkmerBlock]:
+    """Read partition files back into blocks (Step 2's input stage)."""
+    return [read_partition(path) for path in paths]

@@ -1,0 +1,80 @@
+"""Partition statistics: the quantities behind Fig 6 and Table II.
+
+The minimizer length P controls how fragmented superkmers are and how
+evenly kmers spread over partitions; the number of partitions controls
+the per-partition hash-table size.  These statistics quantify both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dna.reads import ReadBatch
+from .partitioner import MspResult, partition_reads
+
+
+@dataclass(frozen=True)
+class PartitionDistribution:
+    """Distribution of superkmers/kmers over the partitions of one run."""
+
+    p: int
+    n_partitions: int
+    superkmers: np.ndarray  # per-partition superkmer counts
+    kmers: np.ndarray  # per-partition kmer counts
+    total_superkmers: int
+    total_kmers: int
+    mean_superkmer_length: float
+
+    @property
+    def kmer_variance(self) -> float:
+        """Variance of the per-partition kmer counts (balance metric)."""
+        return float(np.var(self.kmers))
+
+    @property
+    def kmer_cv(self) -> float:
+        """Coefficient of variation of per-partition kmer counts."""
+        mean = float(np.mean(self.kmers))
+        return float(np.std(self.kmers) / mean) if mean else 0.0
+
+    @property
+    def max_kmers(self) -> int:
+        return int(self.kmers.max()) if self.kmers.size else 0
+
+
+def distribution_of(result: MspResult) -> PartitionDistribution:
+    """Summarize an MSP result's partition distribution."""
+    sk_counts = result.superkmers_per_partition()
+    kmer_counts = result.kmers_per_partition()
+    total_sk = int(sk_counts.sum())
+    total_bases = sum(b.total_bases() for b in result.blocks)
+    return PartitionDistribution(
+        p=result.p,
+        n_partitions=result.n_partitions,
+        superkmers=sk_counts,
+        kmers=kmer_counts,
+        total_superkmers=total_sk,
+        total_kmers=int(kmer_counts.sum()),
+        mean_superkmer_length=(total_bases / total_sk) if total_sk else 0.0,
+    )
+
+
+def sweep_minimizer_length(
+    reads: ReadBatch, k: int, p_values: list[int], n_partitions: int
+) -> list[PartitionDistribution]:
+    """Fig 6 sweep: distribution vs minimizer length P at fixed NP."""
+    return [
+        distribution_of(partition_reads(reads, k, p, n_partitions))
+        for p in p_values
+    ]
+
+
+def sweep_n_partitions(
+    reads: ReadBatch, k: int, p: int, np_values: list[int]
+) -> list[PartitionDistribution]:
+    """Table II sweep: distribution vs number of partitions at fixed P."""
+    return [
+        distribution_of(partition_reads(reads, k, p, n))
+        for n in np_values
+    ]

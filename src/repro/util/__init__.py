@@ -1,0 +1,14 @@
+"""Utilities: text tables, timing, measurement."""
+
+from .tables import format_cell, print_table, render_table
+from .timing import Measurement, StageTimer, fit_loglog_slope, measure
+
+__all__ = [
+    "Measurement",
+    "StageTimer",
+    "fit_loglog_slope",
+    "format_cell",
+    "measure",
+    "print_table",
+    "render_table",
+]

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dna.reads import ReadBatch
+from repro.dna.simulate import DatasetProfile, random_genome, simulate_reads
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_batch(rng) -> ReadBatch:
+    """60 random reads of length 70 (no genomic redundancy)."""
+    return ReadBatch(codes=rng.integers(0, 4, size=(60, 70), dtype=np.uint8))
+
+
+@pytest.fixture
+def genomic_batch() -> ReadBatch:
+    """Reads sampled from a small genome: realistic duplicate structure."""
+    genome = random_genome(3000, seed=11)
+    return simulate_reads(genome, n_reads=500, read_length=80,
+                          mean_errors=1.0, seed=12)
+
+
+@pytest.fixture
+def clean_batch() -> ReadBatch:
+    """Error-free reads from a small genome (both strands)."""
+    genome = random_genome(2500, seed=21)
+    return simulate_reads(genome, n_reads=400, read_length=75,
+                          mean_errors=0.0, seed=22)
+
+
+@pytest.fixture
+def tiny_profile() -> DatasetProfile:
+    return DatasetProfile(
+        name="tiny",
+        genome_size=2_000,
+        read_length=60,
+        coverage=10.0,
+        mean_errors=0.5,
+        repeat_fraction=0.0,
+        seed=99,
+    )

@@ -1,0 +1,89 @@
+"""Tests for repro.dna.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.dna import alphabet as al
+
+
+class TestEncode:
+    def test_basic_bases(self):
+        assert al.encode("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_lowercase(self):
+        assert al.encode("acgt").tolist() == [0, 1, 2, 3]
+
+    def test_unknown_becomes_a(self):
+        # The paper: "All the unknown DNA bases are transformed to 'As'".
+        assert al.encode("NNXY").tolist() == [0, 0, 0, 0]
+
+    def test_empty(self):
+        assert al.encode("").size == 0
+
+    def test_bytes_input(self):
+        assert al.encode(b"TGCA").tolist() == [3, 2, 1, 0]
+
+    def test_long_sequence_dtype(self):
+        out = al.encode("ACGT" * 1000)
+        assert out.dtype == np.uint8
+        assert out.size == 4000
+
+    def test_non_ascii_replaced(self):
+        out = al.encode("AéT")
+        assert out[0] == 0 and out[-1] == 3
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        s = "ACGTACGTTTGGCCAA"
+        assert al.decode(al.encode(s)) == s
+
+    def test_empty(self):
+        assert al.decode(np.zeros(0, dtype=np.uint8)) == ""
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            al.decode(np.array([0, 4], dtype=np.uint8))
+
+
+class TestComplement:
+    def test_complement_pairs(self):
+        # A<->T, C<->G
+        assert al.decode(al.complement(al.encode("ACGT"))) == "TGCA"
+
+    def test_reverse_complement(self):
+        assert al.decode(al.reverse_complement(al.encode("AACG"))) == "CGTT"
+
+    def test_reverse_complement_involution(self):
+        codes = al.encode("ATTGGCACGTAC")
+        twice = al.reverse_complement(al.reverse_complement(codes))
+        assert np.array_equal(twice, codes)
+
+    def test_complement_code_is_3_minus(self):
+        for c in range(4):
+            assert al.COMPLEMENT_CODE[c] == 3 - c
+
+
+class TestScalarHelpers:
+    def test_base_to_code(self):
+        assert [al.base_to_code(b) for b in "ACGT"] == [0, 1, 2, 3]
+
+    def test_code_to_base(self):
+        assert "".join(al.code_to_base(c) for c in range(4)) == "ACGT"
+
+    def test_base_to_code_rejects_multichar(self):
+        with pytest.raises(ValueError):
+            al.base_to_code("AC")
+
+    def test_code_to_base_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            al.code_to_base(4)
+
+    def test_is_valid_codes(self):
+        assert al.is_valid_codes(np.array([0, 1, 2, 3], dtype=np.uint8))
+        assert not al.is_valid_codes(np.array([0, 7], dtype=np.uint8))
+        assert al.is_valid_codes(np.zeros(0, dtype=np.uint8))
+
+    def test_code_order_is_lexicographic(self):
+        # The minimizer machinery depends on code order == lex order.
+        assert sorted(al.BASES) == list(al.BASES)

@@ -1,0 +1,135 @@
+"""Tests for repro.analysis (spectrum, degrees, error-rate estimation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.degrees import (
+    branching_fraction,
+    degree_summary,
+    in_degrees,
+    out_degrees,
+)
+from repro.analysis.errors import estimate_error_rate
+from repro.analysis.spectrum import (
+    analyze_spectrum,
+    estimate_genome_size_from_instances,
+    multiplicity_histogram,
+)
+from repro.dna.simulate import DatasetProfile
+from repro.graph.build import build_reference_graph
+
+K = 21
+
+
+@pytest.fixture(scope="module")
+def covered():
+    """20x coverage, lambda=1 dataset with its graph."""
+    profile = DatasetProfile(
+        name="analysis", genome_size=12_000, read_length=90, coverage=20.0,
+        mean_errors=1.0, repeat_fraction=0.0, seed=31,
+    )
+    genome, reads = profile.generate()
+    return profile, genome, reads, build_reference_graph(reads, K)
+
+
+class TestSpectrum:
+    def test_histogram_totals(self, covered):
+        _, _, reads, graph = covered
+        hist = multiplicity_histogram(graph)
+        assert hist.sum() == graph.n_vertices
+        weighted = int((np.arange(hist.size) * hist).sum())
+        # The tail bucket aggregates, so weighted sum <= true instances.
+        assert weighted <= graph.total_kmer_instances()
+
+    def test_error_spike_at_one(self, covered):
+        _, _, _, graph = covered
+        hist = multiplicity_histogram(graph)
+        assert hist[1] > hist[2] > 0  # errors dominate multiplicity 1
+
+    def test_coverage_peak_near_kmer_coverage(self, covered):
+        profile, _, reads, graph = covered
+        summary = analyze_spectrum(graph)
+        # Kmer coverage = base coverage * (L-K+1)/L ~ 15.6 here.
+        kmer_cov = profile.coverage * (reads.read_length - K + 1) / reads.read_length
+        assert abs(summary.coverage_peak - kmer_cov) <= 5
+
+    def test_genome_size_estimates(self, covered):
+        profile, _, _, graph = covered
+        summary = analyze_spectrum(graph)
+        assert summary.estimated_genome_size == pytest.approx(
+            profile.genome_size, rel=0.15
+        )
+        # The peak-based estimator divides by the histogram *mode*,
+        # which sits below the mean coverage; it is order-of-magnitude
+        # only (that is its classic use).
+        by_instances = estimate_genome_size_from_instances(graph)
+        assert by_instances == pytest.approx(profile.genome_size, rel=0.4)
+
+    def test_error_free_has_low_threshold_losses(self):
+        profile = DatasetProfile(
+            name="clean", genome_size=5_000, read_length=80, coverage=25.0,
+            mean_errors=0.0, repeat_fraction=0.0, seed=5,
+        )
+        _, reads = profile.generate()
+        graph = build_reference_graph(reads, K)
+        summary = analyze_spectrum(graph)
+        # Without errors nearly every vertex is genomic.
+        assert summary.n_error_vertices < 0.1 * graph.n_vertices
+
+
+class TestDegrees:
+    def test_histograms_cover_all_vertices(self, covered):
+        _, _, _, graph = covered
+        summary = degree_summary(graph)
+        assert sum(summary.out_degree_histogram) == graph.n_vertices
+        assert sum(summary.in_degree_histogram) == graph.n_vertices
+
+    def test_degree_arrays_bounded(self, covered):
+        _, _, _, graph = covered
+        assert int(out_degrees(graph).max()) <= 4
+        assert int(in_degrees(graph).max()) <= 4
+
+    def test_linear_genome_mostly_simple(self):
+        profile = DatasetProfile(
+            name="lin", genome_size=4_000, read_length=80, coverage=25.0,
+            mean_errors=0.0, repeat_fraction=0.0, seed=8,
+        )
+        _, reads = profile.generate()
+        graph = build_reference_graph(reads, K)
+        summary = degree_summary(graph)
+        assert summary.n_simple > 0.95 * graph.n_vertices
+        assert branching_fraction(graph) < 0.02
+
+    def test_errors_add_branching(self, covered):
+        _, _, _, graph = covered
+        assert branching_fraction(graph) > 0.0
+
+    def test_empty_graph(self):
+        from repro.graph.dbg import empty_graph
+
+        assert branching_fraction(empty_graph(K)) == 0.0
+
+
+class TestErrorRate:
+    @pytest.mark.parametrize("true_lam", [0.5, 1.0, 2.0])
+    def test_recovers_lambda(self, true_lam):
+        profile = DatasetProfile(
+            name="err", genome_size=10_000, read_length=90, coverage=20.0,
+            mean_errors=true_lam, repeat_fraction=0.0, seed=17,
+        )
+        _, reads = profile.generate()
+        graph = build_reference_graph(reads, K)
+        est = estimate_error_rate(graph, reads.n_reads, reads.read_length)
+        assert est.lam == pytest.approx(true_lam, rel=0.30)
+
+    def test_validation(self, covered):
+        _, _, _, graph = covered
+        with pytest.raises(ValueError):
+            estimate_error_rate(graph, 0, 90)
+        with pytest.raises(ValueError):
+            estimate_error_rate(graph, 100, 10)
+
+    def test_per_base_rate(self, covered):
+        profile, _, reads, graph = covered
+        est = estimate_error_rate(graph, reads.n_reads, reads.read_length)
+        assert est.per_base_rate == pytest.approx(est.lam / reads.read_length)

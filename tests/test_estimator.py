@@ -1,0 +1,166 @@
+"""Tests for repro.core.estimator (Property 1 and table sizing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    SizingPolicy,
+    expected_distinct_vertices,
+    expected_erroneous_kmers_per_error,
+    expected_erroneous_kmers_per_read,
+    next_power_of_two,
+)
+
+
+class TestErroneousKmers:
+    def test_small_k_regime_formula(self):
+        # K <= (L+1)/2: E = K(L-2K+2)/L + K(K-1)/L.
+        length, k = 101, 27
+        expected = k * (length - 2 * k + 2) / length + k * (k - 1) / length
+        assert np.isclose(expected_erroneous_kmers_per_error(length, k), expected)
+
+    def test_large_k_regime_formula(self):
+        # K >= (L+1)/2 regime.
+        length, k = 100, 80
+        n_kmers = length - k + 1
+        expected = n_kmers * (2 * k - length) / length + (length - k) * (length - k + 1) / length
+        assert np.isclose(expected_erroneous_kmers_per_error(length, k), expected)
+
+    def test_bounded_by_theta_l_over_4(self):
+        # The appendix bound: E(Y|X=1) <= Theta(L/4); the exact constant
+        # for the worst K is about L/4 + O(1).
+        for length in (50, 101, 200):
+            values = [
+                expected_erroneous_kmers_per_error(length, k)
+                for k in range(1, length + 1)
+            ]
+            assert max(values) <= length / 4 + 1.5
+
+    def test_monte_carlo_agreement(self):
+        # Simulate single errors at uniform positions and count kmers
+        # covering the error position.
+        rng = np.random.default_rng(0)
+        length, k = 60, 21
+        n_kmers = length - k + 1
+        trials = 200_000
+        pos = rng.integers(0, length, size=trials)
+        lo = np.maximum(0, pos - k + 1)
+        hi = np.minimum(n_kmers - 1, pos)
+        covered = hi - lo + 1
+        assert np.isclose(
+            covered.mean(),
+            expected_erroneous_kmers_per_error(length, k),
+            rtol=0.01,
+        )
+
+    def test_k_one(self):
+        # K = 1: exactly one kmer covers each error position.
+        assert expected_erroneous_kmers_per_error(100, 1) == pytest.approx(1.0)
+
+    def test_k_equals_l(self):
+        # K = L: the single kmer is always corrupted.
+        assert expected_erroneous_kmers_per_error(50, 50) == pytest.approx(1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            expected_erroneous_kmers_per_error(10, 0)
+        with pytest.raises(ValueError):
+            expected_erroneous_kmers_per_error(10, 11)
+
+    def test_lambda_scaling(self):
+        one = expected_erroneous_kmers_per_read(101, 27, 1.0)
+        two = expected_erroneous_kmers_per_read(101, 27, 2.0)
+        assert np.isclose(two, 2 * one)
+        with pytest.raises(ValueError):
+            expected_erroneous_kmers_per_read(101, 27, -1.0)
+
+
+class TestDistinctVertices:
+    def test_includes_genome(self):
+        # With no errors the estimate is exactly the genome size (as
+        # long as enough kmer instances exist to cover it).
+        est = expected_distinct_vertices(100_000, 101, 27,
+                                         genome_size=1_000_000, lam=0.0)
+        assert est == pytest.approx(1_000_000)
+
+    def test_capped_at_total_kmers(self):
+        est = expected_distinct_vertices(10, 101, 27, genome_size=10**9, lam=2.0)
+        assert est == 10 * 75
+
+    def test_grows_with_input(self):
+        # §III-C1: "the number of distinct vertices ... is proportional
+        # to the big input size".
+        small = expected_distinct_vertices(10_000, 101, 27, 10**6, 1.0)
+        large = expected_distinct_vertices(100_000, 101, 27, 10**6, 1.0)
+        assert large > small
+
+    def test_empirical_order_of_magnitude(self, tiny_profile):
+        from repro.graph.build import build_reference_graph
+
+        genome, reads = tiny_profile.generate()
+        k = 21
+        graph = build_reference_graph(reads, k)
+        est = expected_distinct_vertices(
+            reads.n_reads, reads.read_length, k,
+            tiny_profile.genome_size, tiny_profile.mean_errors,
+        )
+        # The estimate is an upper-bound-flavored expectation; require
+        # the right order of magnitude and that it does not undershoot
+        # badly.
+        assert graph.n_vertices <= 2.0 * est
+        assert est <= 10 * graph.n_vertices
+
+
+class TestSizingPolicy:
+    def test_paper_formula(self):
+        policy = SizingPolicy(lam=2.0, alpha=0.5)
+        # capacity >= lambda/(4 alpha) * N_kmer = N_kmer.
+        assert policy.capacity_for(1000) >= 1000
+
+    def test_capacity_is_power_of_two(self):
+        policy = SizingPolicy()
+        for n in (1, 100, 12345, 10**6):
+            cap = policy.capacity_for(n)
+            assert cap & (cap - 1) == 0
+
+    def test_min_capacity(self):
+        policy = SizingPolicy(min_capacity=512)
+        assert policy.capacity_for(1) >= 512
+
+    def test_capacity_monotonic(self):
+        policy = SizingPolicy()
+        caps = [policy.capacity_for(n) for n in (10, 100, 1000, 10000)]
+        assert caps == sorted(caps)
+
+    def test_table_bytes(self):
+        policy = SizingPolicy()
+        assert policy.table_bytes(1000) == policy.capacity_for(1000) * 45
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizingPolicy(alpha=0.0)
+        with pytest.raises(ValueError):
+            SizingPolicy(alpha=1.5)
+        with pytest.raises(ValueError):
+            SizingPolicy(lam=-1)
+        with pytest.raises(ValueError):
+            SizingPolicy(min_capacity=0)
+
+    def test_halving_claim(self):
+        # §III-C1: with lambda=2 the expected table size halves relative
+        # to the trivial N_kmer bound.
+        policy = SizingPolicy(lam=2.0, alpha=1.0)
+        assert policy.estimated_distinct(1000) == 500
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1024) == 1024
+        assert next_power_of_two(1025) == 2048
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)

@@ -1,0 +1,71 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "verified: ParaHash graph == reference graph" in out
+
+    def test_assemble_genome(self):
+        out = run_example("assemble_genome.py")
+        assert "unitigs:" in out
+        # The mini assembly recovers (nearly) the whole genome.
+        assert "% of the genome" in out
+        frac = float(out.rsplit("(", 1)[1].split("%")[0])
+        assert frac > 90.0
+
+    def test_kmer_spectrum(self):
+        out = run_example("kmer_spectrum.py")
+        assert "multiplicity spectrum" in out
+        assert "Property 1" in out
+
+    def test_heterogeneous_pipeline(self):
+        out = run_example("heterogeneous_pipeline.py")
+        assert "Compute-bound regime" in out
+        assert "IO-bound regime" in out
+        assert "workload distribution" in out.lower()
+
+    def test_large_k_and_formats(self):
+        out = run_example("large_k_and_formats.py")
+        assert "binary round trip OK" in out
+        assert "two-word" in out
+
+    def test_strain_comparison(self):
+        out = run_example("strain_comparison.py")
+        assert "SNP estimate" in out
+        # The estimate should land near the true 40 SNPs.
+        estimate = float(out.split("SNP estimate (A-private / K) |")[1]
+                         .split("\n")[0])
+        assert 30 <= estimate <= 45
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py", "assemble_genome.py", "kmer_spectrum.py",
+    "heterogeneous_pipeline.py", "large_k_and_formats.py",
+    "strain_comparison.py",
+])
+def test_example_exists_and_documented(name):
+    path = EXAMPLES / name
+    assert path.exists()
+    text = path.read_text()
+    assert text.startswith("#!/usr/bin/env python3")
+    assert '"""' in text  # module docstring

@@ -1,0 +1,133 @@
+"""Tests for repro.graph.compare and the strain mutation simulator."""
+
+import numpy as np
+import pytest
+
+from repro.dna.simulate import mutate_genome, random_genome, simulate_reads
+from repro.graph.build import build_reference_graph
+from repro.graph.compare import (
+    compare_graphs,
+    multiplicity_correlation,
+    variant_regions,
+)
+
+K = 21
+
+
+@pytest.fixture(scope="module")
+def strains():
+    genome_a = random_genome(8_000, seed=51)
+    genome_b = mutate_genome(genome_a, n_snps=10, seed=52)
+    reads_a = simulate_reads(genome_a, 1_600, 80, mean_errors=0.5, seed=53)
+    reads_b = simulate_reads(genome_b, 1_600, 80, mean_errors=0.5, seed=54)
+    return (build_reference_graph(reads_a, K),
+            build_reference_graph(reads_b, K))
+
+
+class TestMutateGenome:
+    def test_exact_snp_count(self):
+        g = random_genome(1_000, seed=1)
+        m = mutate_genome(g, 25, seed=2)
+        assert int((g != m).sum()) == 25
+
+    def test_zero_snps_identity(self):
+        g = random_genome(500, seed=1)
+        assert np.array_equal(mutate_genome(g, 0), g)
+
+    def test_original_untouched(self):
+        g = random_genome(500, seed=1)
+        copy = g.copy()
+        mutate_genome(g, 50, seed=3)
+        assert np.array_equal(g, copy)
+
+    def test_validation(self):
+        g = random_genome(100, seed=1)
+        with pytest.raises(ValueError):
+            mutate_genome(g, 101)
+        with pytest.raises(ValueError):
+            mutate_genome(g, -1)
+
+    def test_deterministic(self):
+        g = random_genome(500, seed=1)
+        assert np.array_equal(mutate_genome(g, 10, seed=7),
+                              mutate_genome(g, 10, seed=7))
+
+
+class TestCompareGraphs:
+    def test_self_comparison(self, strains):
+        a, _ = strains
+        c = compare_graphs(a, a)
+        assert c.n_only_a == 0 and c.n_only_b == 0
+        assert c.n_shared == a.n_vertices
+        assert c.jaccard == 1.0
+        assert c.containment_a_in_b == 1.0
+
+    def test_counts_partition_the_union(self, strains):
+        a, b = strains
+        c = compare_graphs(a, b)
+        assert c.n_shared + c.n_only_a == a.n_vertices
+        assert c.n_shared + c.n_only_b == b.n_vertices
+
+    def test_strains_share_most_solid_content(self, strains):
+        a, b = strains
+        solid_a = a.filter_min_multiplicity(3)
+        solid_b = b.filter_min_multiplicity(3)
+        c = compare_graphs(solid_a, solid_b)
+        assert c.jaccard > 0.9  # only 10 SNPs apart
+
+    def test_k_mismatch(self, strains):
+        a, _ = strains
+        reads = simulate_reads(random_genome(500, seed=9), 100, 60, seed=10)
+        other = build_reference_graph(reads, 15)
+        with pytest.raises(ValueError):
+            compare_graphs(a, other)
+
+    def test_multiplicity_self_correlation(self, strains):
+        a, _ = strains
+        assert multiplicity_correlation(a, a) == pytest.approx(1.0)
+
+    def test_multiplicity_correlation_tracks_copy_number(self):
+        # Across independent samples, multiplicities correlate only via
+        # copy number: repeats are deep in *both* samples.  A repetitive
+        # genome therefore shows positive correlation where a uniform
+        # one shows none.
+        from repro.dna.simulate import repetitive_genome
+
+        genome = repetitive_genome(6_000, repeat_fraction=0.4,
+                                   repeat_length=300, seed=71)
+        r1 = simulate_reads(genome, 1_500, 70, mean_errors=0.0, seed=72)
+        r2 = simulate_reads(genome, 1_500, 70, mean_errors=0.0, seed=73)
+        a = build_reference_graph(r1, K)
+        b = build_reference_graph(r2, K)
+        assert multiplicity_correlation(a, b) > 0.5
+
+    def test_disjoint_graphs(self):
+        r1 = simulate_reads(random_genome(600, seed=61), 150, 60,
+                            mean_errors=0.0, seed=62)
+        r2 = simulate_reads(random_genome(600, seed=63), 150, 60,
+                            mean_errors=0.0, seed=64)
+        a = build_reference_graph(r1, K)
+        b = build_reference_graph(r2, K)
+        c = compare_graphs(a, b)
+        assert c.jaccard < 0.01  # unrelated random genomes
+
+
+class TestVariantRegions:
+    def test_snp_kmers_recovered(self, strains):
+        a, b = strains
+        solid_a, solid_b = variant_regions(a, b, min_multiplicity=3)
+        # 10 SNPs x up to K kmers each, plus a little slack for genome
+        # kmers that coverage sampling left unseen in the other strain.
+        assert 3 * K < solid_a.size <= 10 * K + 4 * K
+        assert 3 * K < solid_b.size <= 10 * K + 4 * K
+
+    def test_identical_samples_have_no_variants(self, strains):
+        a, _ = strains
+        solid_a, solid_b = variant_regions(a, a)
+        assert solid_a.size == 0 and solid_b.size == 0
+
+    def test_filter_removes_error_privates(self, strains):
+        a, b = strains
+        raw = compare_graphs(a, b)
+        solid_a, _ = variant_regions(a, b, min_multiplicity=3)
+        assert solid_a.size < 0.2 * raw.n_only_a

@@ -1,0 +1,106 @@
+"""Tests for repro.graph.paths (greedy weight-guided contigs)."""
+
+import numpy as np
+import pytest
+
+from repro.dna.alphabet import decode
+from repro.dna.reads import ReadBatch
+from repro.dna.simulate import DatasetProfile, random_genome, simulate_reads
+from repro.graph.build import build_reference_graph
+from repro.graph.paths import assembly_metrics, greedy_contigs
+
+
+def revcomp_str(s: str) -> str:
+    return s.translate(str.maketrans("ACGT", "TGCA"))[::-1]
+
+
+class TestGreedyContigs:
+    def test_clean_genome_one_contig(self):
+        genome = random_genome(1500, seed=2)
+        reads = simulate_reads(genome, 400, 70, mean_errors=0.0, seed=3)
+        g = build_reference_graph(reads, 21)
+        contigs = greedy_contigs(g, min_edge_weight=1, min_seed_multiplicity=1)
+        longest = contigs[0]
+        s = longest.to_str()
+        gs = decode(genome)
+        assert s in gs or revcomp_str(s) in gs
+        assert len(s) > 0.9 * len(gs)
+
+    def test_walks_through_error_branches(self):
+        # With errors, unitigs fragment but greedy walks pass through
+        # branches via the heavier (genomic) edge.
+        profile = DatasetProfile(
+            name="g", genome_size=8_000, read_length=90, coverage=25.0,
+            mean_errors=1.0, repeat_fraction=0.0, seed=13,
+        )
+        genome, reads = profile.generate()
+        g = build_reference_graph(reads, 21)
+        from repro.graph.compact import compact_unitigs
+
+        cleaned = g.filter_min_multiplicity(3)
+        unitigs = compact_unitigs(cleaned)
+        contigs = greedy_contigs(cleaned, min_edge_weight=3)
+        assert max(len(c) for c in contigs) >= max(len(u) for u in unitigs)
+
+    def test_every_vertex_in_at_most_one_contig(self, clean_batch):
+        g = build_reference_graph(clean_batch, 15)
+        contigs = greedy_contigs(g, min_edge_weight=1, min_seed_multiplicity=1)
+        total_vertices = sum(c.n_vertices for c in contigs)
+        assert total_vertices <= g.n_vertices
+
+    def test_min_seed_multiplicity_excludes_errors(self):
+        profile = DatasetProfile(
+            name="g2", genome_size=5_000, read_length=80, coverage=20.0,
+            mean_errors=1.0, repeat_fraction=0.0, seed=23,
+        )
+        _, reads = profile.generate()
+        g = build_reference_graph(reads, 21)
+        strict = greedy_contigs(g, min_edge_weight=3, min_seed_multiplicity=3)
+        loose = greedy_contigs(g, min_edge_weight=1, min_seed_multiplicity=1)
+        assert sum(c.n_vertices for c in strict) < sum(
+            c.n_vertices for c in loose
+        )
+
+    def test_sorted_longest_first(self, clean_batch):
+        g = build_reference_graph(clean_batch, 15)
+        contigs = greedy_contigs(g, min_edge_weight=1, min_seed_multiplicity=1)
+        lengths = [len(c) for c in contigs]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_deterministic(self, clean_batch):
+        g = build_reference_graph(clean_batch, 15)
+        a = greedy_contigs(g)
+        b = greedy_contigs(g)
+        assert len(a) == len(b)
+        assert all(np.array_equal(x.bases, y.bases) for x, y in zip(a, b))
+
+    def test_validation(self, clean_batch):
+        g = build_reference_graph(clean_batch, 15)
+        with pytest.raises(ValueError):
+            greedy_contigs(g, min_edge_weight=0)
+
+    def test_contig_kmers_are_graph_vertices(self, clean_batch):
+        from repro.dna.kmer import canonical_int, iter_kmers
+
+        g = build_reference_graph(clean_batch, 15)
+        contigs = greedy_contigs(g, min_edge_weight=1, min_seed_multiplicity=1)
+        for c in contigs[:5]:
+            for kmer in iter_kmers(c.bases, 15):
+                assert canonical_int(kmer, 15) in g
+
+
+class TestAssemblyMetrics:
+    def test_basic(self):
+        genome = random_genome(2_000, seed=6)
+        reads = simulate_reads(genome, 500, 70, mean_errors=0.0, seed=7)
+        g = build_reference_graph(reads, 21)
+        contigs = greedy_contigs(g, min_edge_weight=1, min_seed_multiplicity=1)
+        metrics = assembly_metrics(contigs, 2_000)
+        assert metrics["n_contigs"] == len(contigs)
+        assert metrics["longest"] >= metrics["ng50"] > 0
+        assert 0 < metrics["genome_fraction_upper"] <= 1.0
+
+    def test_empty(self):
+        metrics = assembly_metrics([], 1000)
+        assert metrics["n_contigs"] == 0
+        assert metrics["ng50"] == 0

@@ -1,0 +1,82 @@
+"""Calibration invariants the device models must keep.
+
+The simulator's claim to validity is that its *ratios* match what the
+paper reports about the testbed; these tests pin those ratios so a
+future re-tuning cannot silently break a reproduced figure.
+"""
+
+import pytest
+
+from repro.hetsim.device import HashWork, MspWork, default_cpu, default_gpu
+from repro.hetsim.transfer import memory_cached_disk, spinning_disk
+
+
+def hash_work(ops=10_000_000, table_bytes=6 << 20):
+    return HashWork(n_kmers=ops // 3, ops=ops, probes=ops // 12,
+                    inserts=ops // 6, table_bytes=table_bytes,
+                    in_bytes=ops // 3, out_bytes=ops // 6)
+
+
+def msp_work(n_bases=10_000_000):
+    return MspWork(n_reads=n_bases // 100, n_bases=n_bases,
+                   n_superkmers=n_bases // 35, in_bytes=int(2.2 * n_bases),
+                   out_bytes=n_bases // 3)
+
+
+class TestPaperRatios:
+    def test_cpu20_hashing_comparable_to_one_gpu(self):
+        # §V-C1: "the hashing performance on the 20-core CPU is
+        # comparable to the performance on a Nvidia K40".
+        w = hash_work()
+        cpu_t = default_cpu().hash_seconds(w)
+        gpu_t = default_gpu().hash_seconds(w)
+        assert 0.5 <= cpu_t / gpu_t <= 2.5
+
+    def test_gpu_transfer_visible_but_not_dominant(self):
+        # Fig 8: transfer is a minor, constant component.
+        w = hash_work()
+        gpu = default_gpu()
+        assert 0 < gpu.transfer_seconds(w) < gpu.hash_seconds(w)
+
+    def test_cpu_msp_slower_than_hdd(self):
+        # Fig 14 Step 1: the CPU's O(LKP) scan is the bottleneck even
+        # against a spinning disk (compute-bound CPU-only regime).
+        w = msp_work()
+        cpu_seconds = default_cpu().msp_seconds(w)
+        disk_seconds = spinning_disk().read_seconds(w.in_bytes)
+        assert cpu_seconds > disk_seconds
+
+    def test_gpu_msp_faster_than_hdd(self):
+        # Fig 14 Step 1: with GPUs, IO dominates.
+        w = msp_work()
+        gpu_seconds = default_gpu().msp_seconds(w)
+        disk_seconds = spinning_disk().read_seconds(w.in_bytes)
+        assert gpu_seconds < disk_seconds
+
+    def test_ramdisk_never_bottlenecks_compute(self):
+        # Fig 13's Case 1 premise: memory-cached IO << compute.
+        w = hash_work()
+        io = memory_cached_disk().read_seconds(w.in_bytes)
+        assert io < 0.1 * default_cpu().hash_seconds(w)
+
+    def test_gpu_msp_advantage_is_small_factor(self):
+        # Fig 11: per-step device throughputs are comparable, so
+        # co-processing shares meaningfully (not 30x apart).
+        w = msp_work()
+        ratio = default_cpu().msp_seconds(w) / default_gpu().msp_seconds(w)
+        assert 1.0 < ratio < 5.0
+
+    def test_locality_effect_spans_fig7_range(self):
+        # Fig 7: hashing slows measurably when tables outgrow the cache.
+        cpu = default_cpu()
+        small = cpu.hash_seconds(hash_work(table_bytes=1 << 20))
+        large = cpu.hash_seconds(hash_work(table_bytes=256 << 20))
+        assert 1.5 < large / small < 4.0
+
+    def test_thread_scaling_near_linear(self):
+        # Fig 9 at the device-model level.
+        cpu = default_cpu()
+        w = hash_work()
+        t1 = cpu.hash_seconds_with_threads(w, 1)
+        t20 = cpu.hash_seconds_with_threads(w, 20)
+        assert t1 / t20 == pytest.approx(19.0, rel=0.15)

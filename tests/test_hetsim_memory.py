@@ -1,0 +1,62 @@
+"""Tests for the device-memory placement constraint (GPU memory bound)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.hetsim.device import GpuDevice, HashWork, default_cpu, default_gpu
+from repro.hetsim.pipeline import WorkPlacementError, simulate_step
+from repro.hetsim.transfer import memory_cached_disk
+
+
+def big_work(table_bytes):
+    return HashWork(n_kmers=1000, ops=3000, probes=30, inserts=300,
+                    table_bytes=table_bytes, in_bytes=1000, out_bytes=500)
+
+
+class TestFits:
+    def test_gpu_fits_small(self):
+        assert default_gpu().fits(big_work(1 << 20))
+
+    def test_gpu_rejects_oversized_table(self):
+        assert not default_gpu().fits(big_work(13 << 30))
+
+    def test_cpu_always_fits(self):
+        assert default_cpu().fits(big_work(1 << 40))
+
+    def test_custom_memory(self):
+        small_gpu = replace(default_gpu(), memory_bytes=1 << 20)
+        assert not small_gpu.fits(big_work(2 << 20))
+
+
+class TestPlacement:
+    def test_cpu_takes_what_gpu_cannot(self):
+        small_gpu = replace(default_gpu(), memory_bytes=1 << 20)
+        works = [big_work(1 << 16) for _ in range(5)] + [big_work(2 << 20)]
+        sim = simulate_step(works, [default_cpu(), small_gpu],
+                            memory_cached_disk())
+        # The oversized partition (ticket 5) must be on the CPU.
+        assert 5 in sim.usage["cpu"].partitions
+        assert 5 not in sim.usage[small_gpu.name].partitions
+
+    def test_no_device_fits_raises(self):
+        small_gpu = replace(default_gpu(), memory_bytes=1 << 20)
+        with pytest.raises(WorkPlacementError, match="increase n_partitions"):
+            simulate_step([big_work(2 << 20)], [small_gpu],
+                          memory_cached_disk())
+
+    def test_default_chr14_partitions_fit_k40(self):
+        # The paper's default NP keeps every table far below 12 GB.
+        gpu = default_gpu()
+        assert gpu.fits(big_work(1 << 30))  # 1 GB table: fine
+
+    def test_fitting_preserves_work_stealing(self):
+        # When everything fits, placement equals plain work stealing:
+        # two equal GPUs split evenly.
+        works = [big_work(1 << 16) for _ in range(20)]
+        sim = simulate_step(works, [GpuDevice(name="gpu0"),
+                                    GpuDevice(name="gpu1")],
+                            memory_cached_disk())
+        a = len(sim.usage["gpu0"].partitions)
+        b = len(sim.usage["gpu1"].partitions)
+        assert abs(a - b) <= 1

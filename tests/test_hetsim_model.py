@@ -1,0 +1,118 @@
+"""Tests for repro.hetsim.model (Equations 1 and 2)."""
+
+import pytest
+
+from repro.hetsim.model import (
+    StepComponents,
+    classify_case,
+    estimate_step_time,
+    ideal_coprocessing_time,
+    ideal_workload_shares,
+    io_bound_time,
+    t_io,
+)
+
+
+def comp(t_cpu=10.0, t_gpus=(8.0,), t_input=1.0, t_output=0.5, n=10):
+    return StepComponents(t_cpu=t_cpu, t_gpus=tuple(t_gpus),
+                          t_input=t_input, t_output=t_output, n_partitions=n)
+
+
+class TestEquationOne:
+    def test_compute_bound(self):
+        c = comp(t_cpu=10, t_gpus=(8,), t_input=1, t_output=0.5, n=10)
+        # max{10, 8, (9/10)*1} + (1.5/10)
+        assert estimate_step_time(c) == pytest.approx(10 + 0.15)
+
+    def test_io_bound(self):
+        c = comp(t_cpu=1, t_gpus=(0.5,), t_input=20, t_output=10, n=10)
+        assert estimate_step_time(c) == pytest.approx(0.9 * 20 + 3.0)
+
+    def test_t_io_term(self):
+        c = comp(t_input=10, t_output=4, n=5)
+        assert t_io(c) == pytest.approx(0.8 * 10)
+
+    def test_no_gpus(self):
+        c = StepComponents(t_cpu=5, t_gpus=(), t_input=1, t_output=1,
+                           n_partitions=4)
+        assert estimate_step_time(c) == pytest.approx(5 + 0.5)
+
+    def test_more_partitions_shrink_startup(self):
+        small_n = estimate_step_time(comp(n=2))
+        large_n = estimate_step_time(comp(n=100))
+        assert large_n < small_n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepComponents(t_cpu=1, t_gpus=(), t_input=1, t_output=1,
+                           n_partitions=0)
+        with pytest.raises(ValueError):
+            StepComponents(t_cpu=-1, t_gpus=(), t_input=1, t_output=1,
+                           n_partitions=2)
+
+    def test_io_bound_time(self):
+        c = comp(t_input=20, t_output=10, n=10)
+        assert io_bound_time(c) == pytest.approx(18 + 3)
+
+
+class TestEquationTwo:
+    def test_speeds_add(self):
+        # CPU at 10s, one GPU at 10s: together 5s.
+        assert ideal_coprocessing_time(10, 10, 1) == pytest.approx(5.0)
+
+    def test_two_gpus(self):
+        assert ideal_coprocessing_time(10, 10, 2) == pytest.approx(10 / 3)
+
+    def test_gpu_only(self):
+        assert ideal_coprocessing_time(10, 6, 2, use_cpu=False) == pytest.approx(3.0)
+
+    def test_cpu_only(self):
+        assert ideal_coprocessing_time(7, 5, 0) == pytest.approx(7.0)
+
+    def test_monotone_in_devices(self):
+        times = [ideal_coprocessing_time(10, 8, n) for n in range(4)]
+        assert times == sorted(times, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_coprocessing_time(0, 5, 1)
+        with pytest.raises(ValueError):
+            ideal_coprocessing_time(5, 0, 1)
+        with pytest.raises(ValueError):
+            ideal_coprocessing_time(5, 5, -1)
+        with pytest.raises(ValueError):
+            ideal_coprocessing_time(5, 5, 0, use_cpu=False)
+
+
+class TestCaseClassification:
+    def test_case1(self):
+        assert classify_case(comp(t_cpu=100, t_gpus=(80,), t_input=1,
+                                  t_output=1)) == 1
+
+    def test_case2(self):
+        assert classify_case(comp(t_cpu=1, t_gpus=(0.5,), t_input=50,
+                                  t_output=40)) == 2
+
+    def test_mixed(self):
+        assert classify_case(comp(t_cpu=10, t_gpus=(8,), t_input=5,
+                                  t_output=5)) == 0
+
+    def test_no_compute_is_case2(self):
+        c = StepComponents(t_cpu=0, t_gpus=(), t_input=5, t_output=5,
+                           n_partitions=2)
+        assert classify_case(c) == 2
+
+
+class TestIdealShares:
+    def test_equal_speeds(self):
+        shares = ideal_workload_shares(10, 10, 1)
+        assert shares["cpu"] == pytest.approx(0.5)
+        assert shares["gpu0"] == pytest.approx(0.5)
+
+    def test_sums_to_one(self):
+        shares = ideal_workload_shares(12, 7, 2)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_faster_gpu_gets_more(self):
+        shares = ideal_workload_shares(20, 5, 1)
+        assert shares["gpu0"] > shares["cpu"]

@@ -1,0 +1,160 @@
+"""Tests for repro.dna.io (FASTA/FASTQ parsing and writing)."""
+
+import pytest
+
+from repro.dna.io import (
+    FormatError,
+    SequenceRecord,
+    load_read_batch,
+    read_fasta,
+    read_fastq,
+    read_sequences,
+    save_read_batch,
+    split_input_file,
+    write_fasta,
+    write_fastq,
+)
+from repro.dna.reads import ReadBatch
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            SequenceRecord(name="r1", sequence="ACGTACGT"),
+            SequenceRecord(name="r2 extra words", sequence="TTTTGGGG"),
+        ]
+        path = tmp_path / "t.fasta"
+        write_fasta(path, records)
+        back = read_fasta(path)
+        assert [(r.name, r.sequence) for r in back] == [
+            ("r1", "ACGTACGT"),
+            ("r2 extra words", "TTTTGGGG"),
+        ]
+
+    def test_multiline_sequences(self, tmp_path):
+        path = tmp_path / "t.fasta"
+        path.write_text(">x\nACGT\nACGT\n>y\nTT\n")
+        back = read_fasta(path)
+        assert back[0].sequence == "ACGTACGT"
+        assert back[1].sequence == "TT"
+
+    def test_wrapping(self, tmp_path):
+        path = tmp_path / "t.fasta"
+        write_fasta(path, [SequenceRecord(name="x", sequence="A" * 100)], width=30)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ">x"
+        assert max(len(line) for line in lines[1:]) == 30
+
+    def test_data_before_header(self, tmp_path):
+        path = tmp_path / "t.fasta"
+        path.write_text("ACGT\n>x\nACGT\n")
+        with pytest.raises(FormatError):
+            read_fasta(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.fasta"
+        path.write_text("")
+        assert read_fasta(path) == []
+
+    def test_bad_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(tmp_path / "t.fasta", [], width=0)
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path):
+        records = [SequenceRecord(name="q1", sequence="ACGT", quality="IIII")]
+        path = tmp_path / "t.fastq"
+        write_fastq(path, records)
+        back = read_fastq(path)
+        assert back[0].name == "q1"
+        assert back[0].sequence == "ACGT"
+        assert back[0].quality == "IIII"
+
+    def test_default_quality(self, tmp_path):
+        path = tmp_path / "t.fastq"
+        write_fastq(path, [SequenceRecord(name="q", sequence="ACG")])
+        assert read_fastq(path)[0].quality == "III"
+
+    def test_quality_length_mismatch_read(self, tmp_path):
+        path = tmp_path / "t.fastq"
+        path.write_text("@q\nACGT\n+\nII\n")
+        with pytest.raises(FormatError):
+            read_fastq(path)
+
+    def test_quality_length_mismatch_write(self, tmp_path):
+        rec = SequenceRecord(name="q", sequence="ACGT", quality="I")
+        with pytest.raises(FormatError):
+            write_fastq(tmp_path / "t.fastq", [rec])
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "t.fastq"
+        path.write_text("q\nACGT\n+\nIIII\n")
+        with pytest.raises(FormatError):
+            read_fastq(path)
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "t.fastq"
+        path.write_text("@q\nACGT\n+\n")
+        with pytest.raises(FormatError):
+            read_fastq(path)
+
+
+class TestAutodetect:
+    def test_detects_fasta(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text(">a\nACGT\n")
+        assert read_sequences(path)[0].quality is None
+
+    def test_detects_fastq(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text("@a\nACGT\n+\nIIII\n")
+        assert read_sequences(path)[0].quality == "IIII"
+
+    def test_unknown_format(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text("#something\n")
+        with pytest.raises(FormatError):
+            read_sequences(path)
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text("\n\n")
+        assert read_sequences(path) == []
+
+
+class TestBatchIO:
+    def test_batch_roundtrip_fastq(self, tmp_path):
+        batch = ReadBatch.from_strs(["ACGTAC", "TTGGCC"])
+        path = tmp_path / "b.fastq"
+        save_read_batch(path, batch)
+        back = load_read_batch(path)
+        assert list(back.iter_strs()) == ["ACGTAC", "TTGGCC"]
+
+    def test_batch_roundtrip_fasta(self, tmp_path):
+        batch = ReadBatch.from_strs(["ACGTAC"])
+        path = tmp_path / "b.fasta"
+        save_read_batch(path, batch, fmt="fasta")
+        assert load_read_batch(path).read_str(0) == "ACGTAC"
+
+    def test_bad_format(self, tmp_path):
+        batch = ReadBatch.from_strs(["ACGT"])
+        with pytest.raises(ValueError):
+            save_read_batch(tmp_path / "b", batch, fmt="bam")
+
+
+class TestSplitInput:
+    def test_split_counts(self, tmp_path):
+        batch = ReadBatch.from_strs(["ACGT"] * 10)
+        src = tmp_path / "all.fastq"
+        save_read_batch(src, batch)
+        paths = split_input_file(src, 3, tmp_path / "parts")
+        assert len(paths) == 3
+        total = sum(len(read_sequences(p)) for p in paths)
+        assert total == 10
+
+    def test_split_empty_raises(self, tmp_path):
+        src = tmp_path / "empty.fasta"
+        src.write_text("")
+        with pytest.raises(FormatError):
+            split_input_file(src, 2, tmp_path / "parts")

@@ -1,0 +1,132 @@
+"""Tests for repro.dna.kmer (extraction, reverse complement, canonical)."""
+
+import numpy as np
+import pytest
+
+from repro.dna import alphabet as al
+from repro.dna import kmer as km
+from repro.dna.encoding import codes_to_int
+
+
+def str_kmer(s: str) -> int:
+    return codes_to_int(al.encode(s))
+
+
+class TestKmersFromReads:
+    def test_single_read_values(self):
+        codes = al.encode("ACGTA").reshape(1, -1)
+        kmers = km.kmers_from_reads(codes, 3)
+        assert kmers.shape == (1, 3)
+        assert kmers[0].tolist() == [str_kmer("ACG"), str_kmer("CGT"), str_kmer("GTA")]
+
+    def test_matches_reference_iterator(self, rng):
+        codes = rng.integers(0, 4, size=(20, 40), dtype=np.uint8)
+        for k in (1, 5, 17, 31):
+            fast = km.kmers_from_reads(codes, k)
+            for i in range(5):
+                ref = list(km.iter_kmers(codes[i], k))
+                assert fast[i].tolist() == ref
+
+    def test_k_equals_read_length(self):
+        codes = al.encode("ACGT").reshape(1, -1)
+        kmers = km.kmers_from_reads(codes, 4)
+        assert kmers.shape == (1, 1)
+        assert int(kmers[0, 0]) == str_kmer("ACGT")
+
+    def test_k_too_large_raises(self):
+        codes = np.zeros((2, 5), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            km.kmers_from_reads(codes, 6)
+
+    def test_k_over_31_raises(self):
+        codes = np.zeros((1, 40), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            km.kmers_from_reads(codes, 32)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            km.kmers_from_reads(np.zeros(10, dtype=np.uint8), 3)
+
+    def test_paper_fig1_kmer_count(self):
+        # Fig 1: reads of length 23 with k=5 generate 19 kmers each.
+        codes = np.zeros((3, 23), dtype=np.uint8)
+        assert km.kmers_from_reads(codes, 5).shape == (3, 19)
+
+
+class TestRevComp:
+    def test_known_value(self):
+        kmer = str_kmer("AACGT")
+        assert km.revcomp_int(kmer, 5) == str_kmer("ACGTT")
+
+    def test_scalar_vs_vectorized(self, rng):
+        for k in (1, 2, 13, 27, 31):
+            codes = rng.integers(0, 4, size=(4, 35), dtype=np.uint8)
+            kmers = km.kmers_from_reads(codes, k)
+            rc = km.revcomp_u64(kmers, k)
+            for i in range(2):
+                for j in range(3):
+                    assert int(rc[i, j]) == km.revcomp_int(int(kmers[i, j]), k)
+
+    def test_involution_vectorized(self, rng):
+        kmers = rng.integers(0, 1 << 54, size=100, dtype=np.uint64)
+        assert np.array_equal(km.revcomp_u64(km.revcomp_u64(kmers, 27), 27), kmers)
+
+    def test_involution_scalar(self):
+        kmer = str_kmer("GATTACAGATTACA")
+        assert km.revcomp_int(km.revcomp_int(kmer, 14), 14) == kmer
+
+    def test_string_level_agreement(self):
+        s = "ATTGGCACG"
+        kmer = str_kmer(s)
+        rc = km.revcomp_int(kmer, len(s))
+        expected = al.decode(al.reverse_complement(al.encode(s)))
+        assert km.kmer_to_str(rc, len(s)) == expected
+
+
+class TestCanonical:
+    def test_canonical_is_min(self):
+        kmer = str_kmer("TTTTT")
+        assert km.canonical_int(kmer, 5) == str_kmer("AAAAA")
+
+    def test_already_canonical(self):
+        kmer = str_kmer("AAAAC")
+        assert km.canonical_int(kmer, 5) == kmer
+
+    def test_vectorized_matches_scalar(self, rng):
+        kmers = rng.integers(0, 1 << 42, size=200, dtype=np.uint64)
+        can = km.canonical_u64(kmers, 21)
+        for i in range(0, 200, 17):
+            assert int(can[i]) == km.canonical_int(int(kmers[i]), 21)
+
+    def test_canonical_is_idempotent(self, rng):
+        kmers = rng.integers(0, 1 << 54, size=100, dtype=np.uint64)
+        can = km.canonical_u64(kmers, 27)
+        assert np.array_equal(km.canonical_u64(can, 27), can)
+
+    def test_canonical_with_flip(self, rng):
+        kmers = rng.integers(0, 1 << 30, size=50, dtype=np.uint64)
+        can, flip = km.canonical_with_flip(kmers, 15)
+        rc = km.revcomp_u64(kmers, 15)
+        assert np.array_equal(can, np.minimum(kmers, rc))
+        assert np.array_equal(flip, rc < kmers)
+
+    def test_kmer_and_its_rc_share_canonical(self, rng):
+        kmers = rng.integers(0, 1 << 54, size=100, dtype=np.uint64)
+        rc = km.revcomp_u64(kmers, 27)
+        assert np.array_equal(km.canonical_u64(kmers, 27), km.canonical_u64(rc, 27))
+
+
+class TestStrings:
+    def test_kmer_to_str(self):
+        assert km.kmer_to_str(str_kmer("GATTACA"), 7) == "GATTACA"
+
+    def test_kmer_mask(self):
+        assert km.kmer_mask(1) == 0b11
+        assert km.kmer_mask(27) == (1 << 54) - 1
+
+    def test_kmer_mask_rejects_zero(self):
+        with pytest.raises(ValueError):
+            km.kmer_mask(0)
+
+    def test_kmer_from_codes(self):
+        assert km.kmer_from_codes(al.encode("CT")) == 0b0111

@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+
+def run_module(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=120,
+    )
+
+
+class TestMainModule:
+    def test_help(self):
+        result = run_module("--help")
+        assert result.returncode == 0
+        for command in ("simulate", "build", "stats", "unitigs", "count",
+                        "hetsim", "validate", "partitions"):
+            assert command in result.stdout
+
+    def test_subcommand_help(self):
+        result = run_module("build", "--help")
+        assert result.returncode == 0
+        assert "--partitions" in result.stdout
+
+    def test_no_command_errors(self):
+        result = run_module()
+        assert result.returncode != 0
+
+    def test_unknown_command_errors(self):
+        result = run_module("frobnicate")
+        assert result.returncode != 0
+
+    def test_end_to_end_via_module(self, tmp_path):
+        reads = tmp_path / "r.fastq"
+        graph = tmp_path / "g.phdbg"
+        assert run_module("simulate", "--genome-size", "2000",
+                          "--coverage", "8", "--output", str(reads)
+                          ).returncode == 0
+        assert run_module("build", "--input", str(reads), "--k", "15",
+                          "--p", "7", "--partitions", "4",
+                          "--output", str(graph)).returncode == 0
+        result = run_module("validate", "--graph", str(graph))
+        assert result.returncode == 0
+        assert "all invariants hold" in result.stdout

@@ -1,0 +1,178 @@
+"""Tests for repro.msp.binio (encoded partition files)."""
+
+import numpy as np
+import pytest
+
+from repro.dna import alphabet as al
+from repro.msp.binio import (
+    PartitionFormatError,
+    PartitionWriter,
+    partition_file_size,
+    read_partition,
+    read_partition_header,
+    write_partition,
+)
+from repro.msp.records import NO_EXT, SuperkmerRecord, block_from_records
+
+
+def sample_block(k=5, n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    records = []
+    for _ in range(n):
+        length = int(rng.integers(k, k + 40))
+        left = int(rng.integers(-1, 4))
+        right = int(rng.integers(-1, 4))
+        records.append(
+            SuperkmerRecord(
+                bases=rng.integers(0, 4, size=length, dtype=np.uint8),
+                left_ext=left,
+                right_ext=right,
+            )
+        )
+    return block_from_records(k, records)
+
+
+class TestRoundtrip:
+    def test_block_roundtrip(self, tmp_path):
+        block = sample_block()
+        path = tmp_path / "p.phsk"
+        write_partition(path, block)
+        back = read_partition(path)
+        assert back.k == block.k
+        assert back.n_superkmers == block.n_superkmers
+        assert np.array_equal(back.bases, block.bases)
+        assert np.array_equal(back.offsets, block.offsets)
+        assert np.array_equal(back.left_ext, block.left_ext)
+        assert np.array_equal(back.right_ext, block.right_ext)
+
+    def test_extensions_survive(self, tmp_path):
+        records = [
+            SuperkmerRecord(al.encode("ACGTA"), NO_EXT, 3),
+            SuperkmerRecord(al.encode("TTTTTT"), 0, NO_EXT),
+            SuperkmerRecord(al.encode("GGGGG"), 2, 1),
+        ]
+        path = tmp_path / "p.phsk"
+        write_partition(path, block_from_records(5, records))
+        back = read_partition(path)
+        assert back.left_ext.tolist() == [NO_EXT, 0, 2]
+        assert back.right_ext.tolist() == [3, NO_EXT, 1]
+
+    def test_empty_partition(self, tmp_path):
+        path = tmp_path / "p.phsk"
+        with PartitionWriter(path, 7) as writer:
+            pass
+        back = read_partition(path)
+        assert back.n_superkmers == 0
+        assert back.k == 7
+
+    def test_header(self, tmp_path):
+        block = sample_block(k=9, n=5)
+        path = tmp_path / "p.phsk"
+        write_partition(path, block)
+        k, count = read_partition_header(path)
+        assert k == 9 and count == 5
+
+    def test_file_size_prediction(self, tmp_path):
+        block = sample_block(n=30)
+        path = tmp_path / "p.phsk"
+        size = write_partition(path, block)
+        assert size == partition_file_size(block)
+
+    def test_streaming_writer_counts(self, tmp_path):
+        path = tmp_path / "p.phsk"
+        writer = PartitionWriter(path, 5)
+        writer.write_record(al.encode("ACGTA"), -1, -1)
+        writer.write_record(al.encode("ACGTACG"), 2, -1)
+        assert writer.close() == 2
+        assert read_partition_header(path)[1] == 2
+
+
+class TestWriterValidation:
+    def test_short_record_rejected(self, tmp_path):
+        writer = PartitionWriter(tmp_path / "p.phsk", 9)
+        with pytest.raises(ValueError):
+            writer.write_record(al.encode("ACGT"), -1, -1)
+        writer.close()
+
+    def test_write_after_close(self, tmp_path):
+        writer = PartitionWriter(tmp_path / "p.phsk", 5)
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write_record(al.encode("ACGTA"), -1, -1)
+
+    def test_mismatched_block_k(self, tmp_path):
+        writer = PartitionWriter(tmp_path / "p.phsk", 5)
+        with pytest.raises(ValueError):
+            writer.write_block(sample_block(k=7))
+        writer.close()
+
+    def test_k_out_of_byte_range(self, tmp_path):
+        with pytest.raises(ValueError):
+            PartitionWriter(tmp_path / "p.phsk", 300)
+
+    def test_double_close_is_safe(self, tmp_path):
+        writer = PartitionWriter(tmp_path / "p.phsk", 5)
+        assert writer.close() == 0
+        assert writer.close() == 0
+
+
+class TestCorruption:
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "p.phsk"
+        path.write_bytes(b"PH")
+        with pytest.raises(PartitionFormatError):
+            read_partition(path)
+        with pytest.raises(PartitionFormatError):
+            read_partition_header(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "p.phsk"
+        write_partition(path, sample_block())
+        data = bytearray(path.read_bytes())
+        data[0] = ord("X")
+        path.write_bytes(bytes(data))
+        with pytest.raises(PartitionFormatError):
+            read_partition(path)
+
+    def test_truncated_records(self, tmp_path):
+        path = tmp_path / "p.phsk"
+        write_partition(path, sample_block(n=10))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        with pytest.raises(PartitionFormatError):
+            read_partition(path)
+
+    def test_trailing_garbage(self, tmp_path):
+        path = tmp_path / "p.phsk"
+        write_partition(path, sample_block(n=3))
+        path.write_bytes(path.read_bytes() + b"\x00\x01")
+        with pytest.raises(PartitionFormatError):
+            read_partition(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "p.phsk"
+        write_partition(path, sample_block(n=1))
+        data = bytearray(path.read_bytes())
+        data[4] = 99  # version byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(PartitionFormatError):
+            read_partition(path)
+
+    def test_record_shorter_than_k(self, tmp_path):
+        # Write with small k, then claim a bigger k in the header.
+        path = tmp_path / "p.phsk"
+        write_partition(path, sample_block(k=5, n=1, seed=1))
+        data = bytearray(path.read_bytes())
+        data[5] = 200  # k byte now larger than any record
+        path.write_bytes(bytes(data))
+        with pytest.raises(PartitionFormatError):
+            read_partition(path)
+
+
+class TestCompression:
+    def test_encoded_is_about_quarter_of_text(self, tmp_path):
+        block = sample_block(k=21, n=200, seed=3)
+        path = tmp_path / "p.phsk"
+        size = write_partition(path, block)
+        text_size = block.byte_size_text()
+        assert size < 0.45 * text_size  # header+framing keeps it under 1/2

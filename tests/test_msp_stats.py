@@ -1,0 +1,70 @@
+"""Tests for repro.msp.stats (partition distributions, Fig 6 / Table II)."""
+
+import numpy as np
+
+from repro.msp.partitioner import partition_reads
+from repro.msp.stats import (
+    distribution_of,
+    sweep_minimizer_length,
+    sweep_n_partitions,
+)
+
+
+class TestDistribution:
+    def test_totals(self, genomic_batch):
+        res = partition_reads(genomic_batch, k=15, p=7, n_partitions=8)
+        dist = distribution_of(res)
+        assert dist.total_kmers == genomic_batch.n_kmers(15)
+        assert dist.total_superkmers == sum(b.n_superkmers for b in res.blocks)
+        assert dist.kmers.sum() == dist.total_kmers
+
+    def test_mean_superkmer_length(self, genomic_batch):
+        res = partition_reads(genomic_batch, k=15, p=7, n_partitions=4)
+        dist = distribution_of(res)
+        total_bases = sum(b.total_bases() for b in res.blocks)
+        assert np.isclose(dist.mean_superkmer_length, total_bases / dist.total_superkmers)
+
+    def test_balance_metrics(self, genomic_batch):
+        res = partition_reads(genomic_batch, k=15, p=11, n_partitions=8)
+        dist = distribution_of(res)
+        assert dist.kmer_variance >= 0
+        assert dist.kmer_cv >= 0
+        assert dist.max_kmers >= dist.kmers.mean()
+
+
+class TestFig6Shape:
+    def test_superkmer_count_increases_with_p(self, genomic_batch):
+        # Fig 6: "the total number of superkmers increases when P increases".
+        dists = sweep_minimizer_length(genomic_batch, k=15,
+                                       p_values=[5, 7, 9, 11, 13], n_partitions=8)
+        counts = [d.total_superkmers for d in dists]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_mean_superkmer_length_decreases_with_p(self, genomic_batch):
+        dists = sweep_minimizer_length(genomic_batch, k=15,
+                                       p_values=[5, 9, 13], n_partitions=8)
+        lengths = [d.mean_superkmer_length for d in dists]
+        assert lengths[0] > lengths[-1]
+
+    def test_balance_improves_with_p(self, genomic_batch):
+        # Fig 6: partition-size variance decreases significantly from
+        # small P to large P (measured via coefficient of variation).
+        dists = sweep_minimizer_length(genomic_batch, k=15,
+                                       p_values=[3, 13], n_partitions=8)
+        assert dists[1].kmer_cv < dists[0].kmer_cv
+
+
+class TestTableIIShape:
+    def test_max_partition_shrinks_with_np(self, genomic_batch):
+        # Table II: more partitions -> smaller per-partition maximum.
+        dists = sweep_n_partitions(genomic_batch, k=15, p=9,
+                                   np_values=[2, 8, 32])
+        maxes = [d.max_kmers for d in dists]
+        assert maxes[0] > maxes[1] > maxes[2]
+
+    def test_total_invariant_across_np(self, genomic_batch):
+        dists = sweep_n_partitions(genomic_batch, k=15, p=9,
+                                   np_values=[1, 4, 16])
+        totals = {d.total_kmers for d in dists}
+        assert len(totals) == 1

@@ -1,0 +1,121 @@
+"""Tests for repro.dna.paired (paired-end simulation and interleaved IO)."""
+
+import numpy as np
+import pytest
+
+from repro.dna.alphabet import decode
+from repro.dna.paired import (
+    PairedReads,
+    read_interleaved_fastq,
+    simulate_paired_reads,
+    write_interleaved_fastq,
+)
+from repro.dna.reads import ReadBatch
+from repro.dna.simulate import random_genome
+
+
+def revcomp_str(s: str) -> str:
+    return s.translate(str.maketrans("ACGT", "TGCA"))[::-1]
+
+
+@pytest.fixture
+def genome():
+    return random_genome(5_000, seed=41)
+
+
+class TestSimulatePaired:
+    def test_shapes(self, genome):
+        pairs = simulate_paired_reads(genome, 100, 80, insert_mean=300,
+                                      insert_std=20, seed=1)
+        assert pairs.n_pairs == 100
+        assert pairs.r1.read_length == 80
+        assert pairs.r2.read_length == 80
+
+    def test_error_free_mates_map_to_fragment(self, genome):
+        pairs = simulate_paired_reads(genome, 50, 60, insert_mean=200,
+                                      insert_std=0, mean_errors=0.0, seed=2)
+        gs = decode(genome)
+        for i in range(50):
+            r1 = pairs.r1.read_str(i)
+            r2 = pairs.r2.read_str(i)
+            # R1 reads forward from the fragment start.
+            pos = gs.find(r1)
+            assert pos >= 0
+            # R2 is the reverse complement of the fragment's far end.
+            far = gs[pos + 200 - 60 : pos + 200]
+            assert r2 == revcomp_str(far)
+
+    def test_insert_std_spreads_inserts(self, genome):
+        tight = simulate_paired_reads(genome, 200, 50, insert_mean=200,
+                                      insert_std=0, mean_errors=0.0, seed=3)
+        del tight  # only checking the wide case below parses fine
+        wide = simulate_paired_reads(genome, 200, 50, insert_mean=200,
+                                     insert_std=30, mean_errors=0.0, seed=3)
+        assert wide.n_pairs == 200
+
+    def test_deterministic(self, genome):
+        a = simulate_paired_reads(genome, 30, 50, insert_mean=150, seed=9)
+        b = simulate_paired_reads(genome, 30, 50, insert_mean=150, seed=9)
+        assert np.array_equal(a.r1.codes, b.r1.codes)
+        assert np.array_equal(a.r2.codes, b.r2.codes)
+
+    def test_validation(self, genome):
+        with pytest.raises(ValueError):
+            simulate_paired_reads(genome, 10, 100, insert_mean=50)
+        with pytest.raises(ValueError):
+            simulate_paired_reads(genome, 10, 50, insert_mean=10_000)
+        with pytest.raises(ValueError):
+            simulate_paired_reads(genome, -1, 50, insert_mean=100)
+
+    def test_pairing_validation(self):
+        with pytest.raises(ValueError):
+            PairedReads(
+                r1=ReadBatch(codes=np.zeros((2, 5), dtype=np.uint8)),
+                r2=ReadBatch(codes=np.zeros((3, 5), dtype=np.uint8)),
+            )
+
+    def test_as_single_batch_feeds_construction(self, genome):
+        from repro.core import build_debruijn_graph
+        from repro.graph.build import build_reference_graph
+        from repro.graph.validate import assert_graphs_equal
+
+        pairs = simulate_paired_reads(genome, 300, 70, insert_mean=250,
+                                      insert_std=15, mean_errors=0.5, seed=5)
+        batch = pairs.as_single_batch()
+        assert batch.n_reads == 600
+        got = build_debruijn_graph(batch, k=21, p=9, n_partitions=8)
+        assert_graphs_equal(got, build_reference_graph(batch, 21), "paired")
+
+    def test_coverage_from_both_mates(self, genome):
+        # Both ends contribute kmers: vertices found by R2-only regions
+        # exist in the combined graph.
+        from repro.graph.build import build_reference_graph
+
+        pairs = simulate_paired_reads(genome, 400, 60, insert_mean=250,
+                                      insert_std=0, mean_errors=0.0, seed=6)
+        combined = build_reference_graph(pairs.as_single_batch(), 21)
+        r1_only = build_reference_graph(pairs.r1, 21)
+        assert combined.n_vertices > r1_only.n_vertices
+
+
+class TestInterleavedIO:
+    def test_roundtrip(self, genome, tmp_path):
+        pairs = simulate_paired_reads(genome, 40, 60, insert_mean=200, seed=7)
+        path = tmp_path / "pairs.fastq"
+        write_interleaved_fastq(path, pairs)
+        back = read_interleaved_fastq(path)
+        assert np.array_equal(back.r1.codes, pairs.r1.codes)
+        assert np.array_equal(back.r2.codes, pairs.r2.codes)
+
+    def test_mate_names(self, genome, tmp_path):
+        pairs = simulate_paired_reads(genome, 3, 60, insert_mean=200, seed=7)
+        path = tmp_path / "pairs.fastq"
+        write_interleaved_fastq(path, pairs)
+        text = path.read_text()
+        assert "@pair_0/1" in text and "@pair_0/2" in text
+
+    def test_odd_record_count_rejected(self, tmp_path):
+        path = tmp_path / "odd.fastq"
+        path.write_text("@a/1\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError):
+            read_interleaved_fastq(path)

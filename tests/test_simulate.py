@@ -1,0 +1,147 @@
+"""Tests for repro.dna.simulate (genomes, reads, dataset profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.dna.simulate import (
+    BUMBLEBEE_LIKE,
+    HUMAN_CHR14_LIKE,
+    PROFILES,
+    TOY,
+    DatasetProfile,
+    random_genome,
+    repetitive_genome,
+    simulate_reads,
+)
+
+
+class TestGenome:
+    def test_size_and_range(self):
+        g = random_genome(1000, seed=1)
+        assert g.size == 1000
+        assert g.max() <= 3
+
+    def test_deterministic(self):
+        assert np.array_equal(random_genome(500, seed=7), random_genome(500, seed=7))
+
+    def test_seed_changes_content(self):
+        assert not np.array_equal(random_genome(500, seed=1), random_genome(500, seed=2))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            random_genome(0)
+
+    def test_repetitive_has_repeats(self):
+        g = repetitive_genome(10_000, repeat_fraction=0.3, repeat_length=200, seed=3)
+        # The template must appear more than once (exact duplicate windows).
+        from repro.dna.kmer import kmers_from_reads
+
+        kmers = kmers_from_reads(g.reshape(1, -1), 31)[0]
+        _, counts = np.unique(kmers, return_counts=True)
+        assert (counts > 1).any()
+
+    def test_repeat_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            repetitive_genome(100, repeat_fraction=1.0)
+
+
+class TestReads:
+    def test_shape(self):
+        g = random_genome(500, seed=1)
+        reads = simulate_reads(g, n_reads=20, read_length=50, seed=2)
+        assert reads.n_reads == 20
+        assert reads.read_length == 50
+
+    def test_deterministic(self):
+        g = random_genome(500, seed=1)
+        a = simulate_reads(g, 30, 40, seed=5)
+        b = simulate_reads(g, 30, 40, seed=5)
+        assert np.array_equal(a.codes, b.codes)
+
+    def test_error_free_reads_are_substrings(self):
+        g = random_genome(300, seed=1)
+        reads = simulate_reads(g, 50, 40, mean_errors=0.0, seed=2, both_strands=False)
+        genome_str = "".join("ACGT"[c] for c in g)
+        for s in reads.iter_strs():
+            assert s in genome_str
+
+    def test_both_strands_produces_rc_reads(self):
+        g = random_genome(300, seed=1)
+        reads = simulate_reads(g, 200, 40, mean_errors=0.0, seed=2, both_strands=True)
+        genome_str = "".join("ACGT"[c] for c in g)
+        forward = sum(s in genome_str for s in reads.iter_strs())
+        assert 0 < forward < 200  # some reads are reverse-complemented
+
+    def test_poisson_error_rate(self):
+        # Mean substitutions per read should be close to lambda.
+        g = random_genome(1000, seed=1)
+        lam = 2.0
+        n, length = 2000, 100
+        clean = simulate_reads(g, n, length, mean_errors=0.0, seed=9, both_strands=False)
+        dirty = simulate_reads(g, n, length, mean_errors=lam, seed=9, both_strands=False)
+        diffs = (clean.codes != dirty.codes).sum()
+        per_read = diffs / n
+        # Collisions (two errors on one position) make this slightly low.
+        assert lam * 0.85 <= per_read <= lam * 1.05
+
+    def test_errors_change_base(self):
+        g = random_genome(500, seed=1)
+        clean = simulate_reads(g, 100, 60, mean_errors=0.0, seed=3, both_strands=False)
+        dirty = simulate_reads(g, 100, 60, mean_errors=5.0, seed=3, both_strands=False)
+        assert (clean.codes != dirty.codes).any()
+
+    def test_read_longer_than_genome(self):
+        g = random_genome(30, seed=1)
+        with pytest.raises(ValueError):
+            simulate_reads(g, 5, 31)
+
+    def test_negative_params(self):
+        g = random_genome(100, seed=1)
+        with pytest.raises(ValueError):
+            simulate_reads(g, -1, 50)
+        with pytest.raises(ValueError):
+            simulate_reads(g, 5, 50, mean_errors=-1)
+
+    def test_zero_reads(self):
+        g = random_genome(100, seed=1)
+        reads = simulate_reads(g, 0, 50)
+        assert reads.n_reads == 0
+
+
+class TestProfiles:
+    def test_builtin_profiles_registered(self):
+        assert "human_chr14_like" in PROFILES
+        assert "bumblebee_like" in PROFILES
+        assert "toy" in PROFILES
+
+    def test_n_reads_formula(self):
+        p = DatasetProfile(name="x", genome_size=10_000, read_length=100,
+                           coverage=30.0, mean_errors=1.0)
+        assert p.n_reads == 3000
+        assert p.total_bases == 300_000
+
+    def test_read_lengths_match_paper(self):
+        # Table I: Chr14 reads are 101 bp, Bumblebee 124 bp.
+        assert HUMAN_CHR14_LIKE.read_length == 101
+        assert BUMBLEBEE_LIKE.read_length == 124
+
+    def test_size_ratio_preserved(self):
+        # Bumblebee's graph is ~10x Chr14's; we keep a several-fold gap.
+        assert BUMBLEBEE_LIKE.genome_size >= 3 * HUMAN_CHR14_LIKE.genome_size
+
+    def test_scaled(self):
+        half = HUMAN_CHR14_LIKE.scaled(0.5)
+        assert half.genome_size == HUMAN_CHR14_LIKE.genome_size // 2
+        with pytest.raises(ValueError):
+            HUMAN_CHR14_LIKE.scaled(0)
+
+    def test_generate_deterministic(self):
+        g1, r1 = TOY.generate()
+        g2, r2 = TOY.generate()
+        assert np.array_equal(g1, g2)
+        assert np.array_equal(r1.codes, r2.codes)
+
+    def test_generate_reads_shape(self):
+        reads = TOY.generate_reads()
+        assert reads.n_reads == TOY.n_reads
+        assert reads.read_length == TOY.read_length

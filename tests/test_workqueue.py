@@ -1,0 +1,139 @@
+"""Tests for repro.concurrentsub.workqueue (srv/cns/prd/wrt protocol)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrentsub.workqueue import (
+    InputQueue,
+    OutputQueue,
+    QueueClosed,
+    run_coprocessed,
+)
+
+
+class TestInputQueue:
+    def test_publish_take(self):
+        q = InputQueue(3)
+        q.publish("a")
+        ticket = q.try_claim()
+        assert ticket == 0
+        assert q.take(ticket) == "a"
+
+    def test_tickets_exhaust(self):
+        q = InputQueue(2)
+        assert q.try_claim() == 0
+        assert q.try_claim() == 1
+        assert q.try_claim() is None
+        assert q.try_claim() is None
+
+    def test_take_blocks_until_published(self):
+        q = InputQueue(1)
+        got = []
+
+        def consumer():
+            ticket = q.try_claim()
+            got.append(q.take(ticket, timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        q.publish("late")
+        t.join(timeout=5.0)
+        assert got == ["late"]
+
+    def test_take_timeout(self):
+        q = InputQueue(1)
+        ticket = q.try_claim()
+        with pytest.raises(QueueClosed):
+            q.take(ticket, timeout=0.05)
+
+    def test_publish_beyond_capacity(self):
+        q = InputQueue(1)
+        q.publish("x")
+        with pytest.raises(IndexError):
+            q.publish("y")
+
+    def test_srv_counter_tracks_publishes(self):
+        q = InputQueue(3)
+        q.publish(1)
+        q.publish(2)
+        assert q.srv.value == 2
+
+
+class TestOutputQueue:
+    def test_drain_in_publish_order(self):
+        q = OutputQueue(3)
+        q.publish(2, "c")
+        q.publish(0, "a")
+        q.publish(1, "b")
+        items = dict(q.drain(timeout=1.0))
+        assert items == {0: "a", 1: "b", 2: "c"}
+
+    def test_double_publish_rejected(self):
+        q = OutputQueue(2)
+        q.publish(0, "a")
+        with pytest.raises(ValueError):
+            q.publish(0, "again")
+
+    def test_drain_timeout(self):
+        q = OutputQueue(2)
+        q.publish(0, "a")
+        with pytest.raises(QueueClosed):
+            list(q.drain(timeout=0.05))
+
+    def test_wrt_advances(self):
+        q = OutputQueue(2)
+        q.publish(0, "a")
+        q.publish(1, "b")
+        list(q.drain(timeout=1.0))
+        assert q.wrt.value == 2
+
+
+class TestRunCoprocessed:
+    def test_results_in_order(self):
+        items = list(range(20))
+        results, records = run_coprocessed(
+            items, {"w1": lambda x: x * 2, "w2": lambda x: x * 2}
+        )
+        assert results == [x * 2 for x in items]
+        assert sum(len(r.partitions) for r in records.values()) == 20
+
+    def test_single_worker(self):
+        results, records = run_coprocessed([1, 2, 3], {"only": lambda x: -x})
+        assert results == [-1, -2, -3]
+        assert records["only"].partitions == [0, 1, 2]
+
+    def test_faster_worker_claims_more(self):
+        def slow(x):
+            time.sleep(0.02)
+            return x
+
+        def fast(x):
+            return x
+
+        items = list(range(30))
+        _, records = run_coprocessed(items, {"slow": slow, "fast": fast})
+        assert records["fast"].items_processed > records["slow"].items_processed
+
+    def test_size_of_accumulates(self):
+        items = [10, 20, 30]
+        _, records = run_coprocessed(items, {"w": lambda x: x}, size_of=lambda x: x)
+        assert records["w"].items_processed == 60
+
+    def test_worker_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError("kaput")
+
+        with pytest.raises(RuntimeError, match="kaput"):
+            run_coprocessed([1, 2], {"w": boom})
+
+    def test_no_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_coprocessed([1], {})
+
+    def test_empty_items(self):
+        results, records = run_coprocessed([], {"w": lambda x: x})
+        assert results == []
+        assert records["w"].items_processed == 0
