@@ -15,11 +15,13 @@ tables; telemetry uses the same :class:`repro.core.hashtable.HashStats`.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
-from ..concurrentsub.atomics import AtomicInt64Array
+from ..concurrentsub.atomics import AtomicInt64Array, TracedLock
 from ..concurrentsub.hashfunc import mix64, mix64_int
+from ..core.hashtable import SPIN_LIMIT, _mon_event, _trace
 from ..core.estimator import next_power_of_two
 from ..core.hashtable import EMPTY, LOCKED, OCCUPIED, HashStats, TableFullError
 from ..graph.dbg import N_SLOTS
@@ -57,8 +59,9 @@ class TwoWordHashTable:
         self.n_occupied = 0
         self.stats = HashStats()
         self._atomic_state: AtomicInt64Array | None = None
-        self._count_locks: list[threading.Lock] | None = None
-        self._occupied_lock = threading.Lock()
+        self._count_locks: list[TracedLock] | None = None
+        self._occupied_lock = TracedLock("occupied_lock")
+        self._stats_lock = TracedLock("stats_lock")
         self._init_lock = threading.Lock()
 
     @property
@@ -84,6 +87,10 @@ class TwoWordHashTable:
         for start in range(0, hi.size, chunk):
             self._insert_chunk(hi[start:start + chunk], lo[start:start + chunk],
                                slots[start:start + chunk])
+        if self._atomic_state is not None:
+            # Keep threaded-mode flags in sync when a quiescent table
+            # mixes batch and threaded insertions.
+            self._atomic_state.raw()[:] = self.state  # checks: allow[R3] single-threaded resync
 
     def _insert_chunk(self, hi, lo, slots) -> None:
         stats = self.stats
@@ -145,22 +152,39 @@ class TwoWordHashTable:
             if self._atomic_state is not None:
                 return
             atomic = AtomicInt64Array(self.capacity, n_stripes=256)
-            atomic.raw()[:] = self.state.astype(np.int64)
-            self._count_locks = [threading.Lock() for _ in range(256)]
+            atomic.raw()[:] = self.state.astype(np.int64)  # checks: allow[R3] pre-publication init under _init_lock
+            self._count_locks = [
+                TracedLock(f"count_lock[{i}]") for i in range(256)
+            ]
             self._atomic_state = atomic
 
     def insert_one_threadsafe(self, kmer: int, slot: int,
                               local: HashStats | None = None) -> None:
-        """Per-operation state machine with a genuinely multi-word key."""
+        """Per-operation state machine with a genuinely multi-word key.
+
+        Stats discipline matches the one-word table: per-thread stats
+        when ``local`` is given, otherwise a scratch object merged into
+        the shared ``self.stats`` under ``_stats_lock``.
+        """
         self._ensure_threaded()
+        if local is not None:
+            self._insert_one(kmer, slot, local)
+            return
+        scratch = HashStats()
+        self._insert_one(kmer, slot, scratch)
+        with self._stats_lock:
+            _trace("stats", id(self), 0, "write")
+            self.stats = self.stats.merged_with(scratch)
+
+    def _insert_one(self, kmer: int, slot: int, stats: HashStats) -> None:
         atomic = self._atomic_state
         assert atomic is not None and self._count_locks is not None
-        stats = local if local is not None else self.stats
         stats.ops += 1
         stats.count_increments += 1
         hi, lo = split_int(int(kmer), self.k)
         h = hash_planes_int(hi, lo) & (self.capacity - 1)
         offset = 0
+        spins = 0
         while True:
             if offset >= self.capacity:
                 raise TableFullError(
@@ -171,22 +195,31 @@ class TwoWordHashTable:
             if st == EMPTY:
                 if atomic.compare_and_swap(pos, EMPTY, LOCKED):
                     # Both words written inside the single lock window.
+                    _trace("keys_hi", id(self), pos, "write")
+                    _trace("keys_lo", id(self), pos, "write")
                     self.keys_hi[pos] = np.uint64(hi)
                     self.keys_lo[pos] = np.uint64(lo)
                     stats.key_locks += 1
                     stats.inserts += 1
+                    _mon_event("pre_publish", pos)
                     atomic.store(pos, OCCUPIED)
-                    self.state[pos] = OCCUPIED
                     self._add_count(pos, slot)
                     with self._occupied_lock:
+                        _trace("n_occupied", id(self), 0, "write")
                         self.n_occupied += 1
                     return
                 stats.cas_failures += 1
                 continue
             if st == LOCKED:
                 stats.blocked_reads += 1
+                spins += 1
+                if spins >= SPIN_LIMIT:
+                    # Yield so a descheduled writer can publish.
+                    time.sleep(0)
                 continue
-            if int(self.keys_hi[pos]) == hi and int(self.keys_lo[pos]) == lo:
+            _trace("keys_hi", id(self), pos, "read-acq")
+            _trace("keys_lo", id(self), pos, "read-acq")
+            if int(self.keys_hi[pos]) == hi and int(self.keys_lo[pos]) == lo:  # checks: allow[R1] immutable after OCCUPIED publication
                 stats.updates += 1
                 self._add_count(pos, slot)
                 return
@@ -196,6 +229,7 @@ class TwoWordHashTable:
     def _add_count(self, pos: int, slot: int) -> None:
         assert self._count_locks is not None
         with self._count_locks[pos % len(self._count_locks)]:
+            _trace("counts", id(self), pos, "write")
             self.counts[pos, slot] += 1
 
     def insert_threaded(self, kmers: list[int], slots: np.ndarray,
@@ -220,29 +254,50 @@ class TwoWordHashTable:
             t.start()
         for t in threads:
             t.join()
+        self._sync_mirror()
         if errors:
             raise errors[0]
-        for s in locals_:
-            self.stats = self.stats.merged_with(s)
+        with self._stats_lock:
+            _trace("stats", id(self), 0, "write")
+            for s in locals_:
+                self.stats = self.stats.merged_with(s)
         return locals_
 
+    def _sync_mirror(self) -> None:
+        """Re-sync the single-threaded numpy mirror after a fork-join."""
+        if self._atomic_state is not None:
+            self.state[:] = self._atomic_state.snapshot().astype(self.state.dtype)
+
     # -- queries --------------------------------------------------------------------
+
+    def _load_state(self, pos: int) -> int:
+        """One occupancy flag, via the atomic array while threads may run."""
+        atomic = self._atomic_state
+        if atomic is not None:
+            return atomic.load(pos)
+        return int(self.state[pos])
+
+    def _state_view(self) -> np.ndarray:
+        """All occupancy flags; see ConcurrentHashTable._state_view."""
+        if self._atomic_state is not None:
+            return self._atomic_state.snapshot().astype(np.int8)
+        return self.state
 
     def lookup(self, kmer: int) -> np.ndarray | None:
         hi, lo = split_int(int(kmer), self.k)
         h = hash_planes_int(hi, lo) & (self.capacity - 1)
         for offset in range(self.capacity):
             pos = (h + offset) & (self.capacity - 1)
-            st = int(self.state[pos])
+            st = self._load_state(pos)
             if st == EMPTY:
                 return None
             if st == OCCUPIED and int(self.keys_hi[pos]) == hi \
-                    and int(self.keys_lo[pos]) == lo:
+                    and int(self.keys_lo[pos]) == lo:  # checks: allow[R1] immutable after OCCUPIED publication
                 return self.counts[pos].copy()
         return None
 
     def to_graph(self) -> BigDeBruijnGraph:
-        occ = self.state == OCCUPIED
+        occ = self._state_view() == OCCUPIED
         hi = self.keys_hi[occ]
         lo = self.keys_lo[occ]
         counts = self.counts[occ].astype(np.uint64)

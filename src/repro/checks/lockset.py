@@ -1,0 +1,316 @@
+"""Eraser-style lockset race detection (dynamic layer).
+
+The classic lockset algorithm (Savage et al., *Eraser: A Dynamic Data
+Race Detector for Multithreaded Programs*, TOCS 1997) checks a simple
+discipline: every shared variable is protected by *some* lock that is
+held on every access.  For each variable ``v`` it maintains a candidate
+set ``C(v)`` of locks that have been held on every access so far; when
+``C(v)`` becomes empty on a variable that multiple threads write, no
+lock protects ``v`` and a race is reported.
+
+Raw lockset checking would flag the state-transfer protocol's
+write-once key publication (the key is written with *no* lock held,
+protected only by the LOCKED flag's happens-before), so — exactly as in
+Eraser — each variable moves through an initialization state machine
+and refinement only starts once a second thread touches the variable:
+
+* ``VIRGIN``: never accessed.
+* ``EXCLUSIVE``: accessed by exactly one thread.  No refinement: this
+  absorbs both initialization *and* the protocol's exclusive
+  LOCKED→OCCUPIED key-write window, which is single-threaded by
+  construction (the CAS admits one winner before publication).
+* ``SHARED``: read by additional threads, never written after leaving
+  EXCLUSIVE.  Refinement happens, reports do not — read-only data after
+  write-once publication is safe without locks.  This is precisely why
+  OCCUPIED keys can be compared lock-free without tripping the
+  detector.
+* ``SHARED_MODIFIED``: written by a thread other than the first.
+  Refinement happens and an empty candidate set is reported as a
+  candidate race.
+
+One repo-specific extension on top of classic Eraser: **publication
+ordering**.  Pure lockset checking cannot flag a write-once cell whose
+readers are unsynchronized with the writer (the EXCLUSIVE→SHARED path
+never reports) — which is exactly the shape of the dual-publication bug
+where ``lookup`` read the numpy ``state`` mirror while a writer thread
+was still publishing it.  Reads that *are* ordered after the write
+(because the reader first observed OCCUPIED through the atomic flag,
+which establishes happens-before) are recorded with kind
+``"read-acq"``; a plain ``"read"`` that takes a variable out of
+EXCLUSIVE right after a write, sharing no lock with that write, is
+reported as an *unordered publication read*.
+
+Variables are per-cell: ``("keys", id(table), pos)`` is independent of
+``("keys", id(table), pos+1)``.  The monitor receives accesses from two
+sources: the instrumented ops of
+:class:`repro.concurrentsub.atomics.AtomicInt64Array` (which report the
+stripe lock they hold) and the ``_trace`` shim in
+:mod:`repro.core.hashtable` for raw numpy touches of
+``keys``/``counts``/``state``.
+
+Known (and accepted) limitation, inherited from Eraser: fork-join reuse
+— a bulk read of every cell after ``join()`` from the coordinating
+thread would empty every candidate set and flood the report with false
+positives.  Bulk post-join reads therefore go through
+``AtomicInt64Array.snapshot()``/``raw()``, which are deliberately not
+recorded; scalar query paths stay recorded and clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import traceback
+from dataclasses import dataclass, field
+
+# Variable states (Eraser Fig. 4).
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+SHARED_MODIFIED = "shared-modified"
+
+#: Frames from these path fragments are skipped when attributing an
+#: access to a source site (they are the plumbing, not the subject).
+_INTERNAL_FRAGMENTS = ("repro/checks/", "repro\\checks\\",
+                       "concurrentsub/atomics", "concurrentsub\\atomics")
+
+
+class Monitor:
+    """Base access monitor: the protocol the instrumentation hooks call.
+
+    Subclass and override what you need; every method is a no-op here.
+    ``record`` may be called while an instrumented lock is held, so
+    implementations must never block; ``event`` is always called outside
+    instrumented locks, so implementations may pause the calling thread
+    (the interleaving scheduler does).
+    """
+
+    def lock_acquired(self, lock_id) -> None:
+        pass
+
+    def lock_released(self, lock_id) -> None:
+        pass
+
+    def record(self, label: str, owner: int, index: int, kind: str) -> None:
+        pass
+
+    def event(self, name: str, index: int | None = None, value=None) -> None:
+        pass
+
+
+@dataclass
+class Access:
+    """One recorded touch of a shared variable."""
+
+    thread: str
+    kind: str  # "read" | "read-acq" | "write"
+    site: str  # "file.py:123 in function"
+    lockset: frozenset
+
+
+@dataclass
+class RaceReport:
+    """A candidate race: an access that emptied the candidate lockset."""
+
+    label: str
+    owner: int
+    index: int
+    state: str
+    access: Access
+    previous: Access | None
+    stack: list[str] = field(default_factory=list)
+    reason: str = "empty candidate lockset"
+
+    def describe(self) -> str:
+        lines = [
+            f"candidate race on {self.label}[{self.index}] "
+            f"(owner 0x{self.owner:x}, state {self.state}, "
+            f"{self.reason})",
+            f"  {self.access.kind} by {self.access.thread} at "
+            f"{self.access.site} holding "
+            f"{_fmt_lockset(self.access.lockset)}",
+        ]
+        if self.previous is not None:
+            lines.append(
+                f"  previous {self.previous.kind} by {self.previous.thread} "
+                f"at {self.previous.site} holding "
+                f"{_fmt_lockset(self.previous.lockset)}"
+            )
+        if self.stack:
+            lines.append("  stack of the racing access:")
+            lines.extend("    " + ln for ln in self.stack)
+        return "\n".join(lines)
+
+
+def _fmt_lockset(lockset: frozenset) -> str:
+    if not lockset:
+        return "no locks"
+    names = sorted(
+        lid[1] if isinstance(lid, tuple) and len(lid) > 1 else str(lid)
+        for lid in lockset
+    )
+    return "{" + ", ".join(str(n) for n in names) + "}"
+
+
+class _VarInfo:
+    __slots__ = ("state", "owner_thread", "candidate", "last", "reported")
+
+    def __init__(self) -> None:
+        self.state = VIRGIN
+        self.owner_thread: int | None = None
+        self.candidate: frozenset | None = None  # None = all locks (⊤)
+        self.last: Access | None = None
+        self.reported = False
+
+
+def _caller_site() -> str:
+    """Attribute the access to the nearest non-plumbing stack frame.
+
+    Walks ``f_back`` explicitly: ``traceback.walk_stack(None)`` starts a
+    version-dependent number of frames up, which made attribution depend
+    on how many shim frames sat between the access and the monitor.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        fn = frame.f_code.co_filename
+        if (not any(fragment in fn for fragment in _INTERNAL_FRAGMENTS)
+                and fn != __file__
+                and frame.f_code.co_name not in ("_trace", "_mon_event")):
+            return (f"{fn.rsplit('/', 1)[-1]}:{frame.f_lineno} "
+                    f"in {frame.f_code.co_name}")
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class LocksetMonitor(Monitor):
+    """The Eraser lockset-refinement algorithm over recorded accesses.
+
+    Thread-safe; install globally with
+    :func:`repro.checks.instrument.lockset_session` (or pass to
+    ``atomics.set_monitor`` directly).  Candidate races accumulate and
+    are retrieved with :meth:`races`.
+    """
+
+    def __init__(self, capture_stacks: bool = True,
+                 max_reports: int = 50) -> None:
+        self._mu = threading.Lock()
+        self._locksets: dict[int, set] = {}
+        self._vars: dict[tuple, _VarInfo] = {}
+        self._reports: list[RaceReport] = []
+        self._capture_stacks = capture_stacks
+        self._max_reports = max_reports
+
+    # -- lock tracking -------------------------------------------------------
+
+    def lock_acquired(self, lock_id) -> None:
+        tid = threading.get_ident()
+        with self._mu:
+            self._locksets.setdefault(tid, set()).add(lock_id)
+
+    def lock_released(self, lock_id) -> None:
+        tid = threading.get_ident()
+        with self._mu:
+            held = self._locksets.get(tid)
+            if held is not None:
+                held.discard(lock_id)
+
+    def locks_held(self) -> frozenset:
+        """The calling thread's current lockset (diagnostics/tests)."""
+        tid = threading.get_ident()
+        with self._mu:
+            return frozenset(self._locksets.get(tid, ()))
+
+    # -- the lockset algorithm ----------------------------------------------
+
+    def record(self, label: str, owner: int, index: int, kind: str) -> None:
+        tid = threading.get_ident()
+        tname = threading.current_thread().name
+        site = _caller_site()
+        with self._mu:
+            held = frozenset(self._locksets.get(tid, ()))
+            key = (label, owner, index)
+            v = self._vars.get(key)
+            if v is None:
+                v = self._vars[key] = _VarInfo()
+            access = Access(thread=tname, kind=kind, site=site, lockset=held)
+            reason = self._transition(v, tid, access)
+            previous = v.last
+            v.last = access
+            if (reason is not None and not v.reported
+                    and len(self._reports) < self._max_reports):
+                v.reported = True
+                stack: list[str] = []
+                if self._capture_stacks:
+                    stack = [
+                        ln.rstrip()
+                        for ln in traceback.format_stack()
+                        if not any(fragment in ln
+                                   for fragment in _INTERNAL_FRAGMENTS)
+                    ][-8:]
+                self._reports.append(RaceReport(
+                    label=label, owner=owner, index=index, state=v.state,
+                    access=access, previous=previous, stack=stack,
+                    reason=reason,
+                ))
+
+    def _transition(self, v: _VarInfo, tid: int, access: Access) -> str | None:
+        """Apply one access to the Eraser state machine.
+
+        Returns a report reason when the access is a candidate race
+        (empties the candidate lockset of a shared-modified variable, or
+        is an unordered publication read), else ``None``.
+        """
+        if v.state == VIRGIN:
+            v.state = EXCLUSIVE
+            v.owner_thread = tid
+            return None
+        if v.state == EXCLUSIVE:
+            if tid == v.owner_thread:
+                return None
+            # Second thread: refinement begins with *its* lockset (the
+            # initializing thread's locks are excused, per Eraser).
+            v.candidate = access.lockset
+            if access.kind == "write":
+                v.state = SHARED_MODIFIED
+                if not v.candidate:
+                    return "empty candidate lockset"
+                return None
+            v.state = SHARED
+            # Publication-ordering extension: a plain read pulling the
+            # variable out of EXCLUSIVE right after a write, with no lock
+            # in common with that write, has no happens-before edge to
+            # it.  ``read-acq`` reads (ordered via the atomic OCCUPIED
+            # observation) are exempt.
+            if (access.kind == "read"
+                    and v.last is not None and v.last.kind == "write"
+                    and not (access.lockset & v.last.lockset)):
+                return "unordered publication read"
+            return None
+        # SHARED or SHARED_MODIFIED: refine on every access.
+        assert v.candidate is not None
+        v.candidate = v.candidate & access.lockset
+        if v.state == SHARED and access.kind == "write":
+            v.state = SHARED_MODIFIED
+        if v.state == SHARED_MODIFIED and not v.candidate:
+            return "empty candidate lockset"
+        return None
+
+    # -- results -------------------------------------------------------------
+
+    def races(self) -> list[RaceReport]:
+        with self._mu:
+            return list(self._reports)
+
+    def var_state(self, label: str, owner: int, index: int) -> str | None:
+        """Current Eraser state of one variable (for tests)."""
+        with self._mu:
+            v = self._vars.get((label, owner, index))
+            return v.state if v is not None else None
+
+    def assert_no_races(self) -> None:
+        reports = self.races()
+        if reports:
+            raise AssertionError(
+                f"{len(reports)} candidate race(s) detected:\n\n"
+                + "\n\n".join(r.describe() for r in reports)
+            )

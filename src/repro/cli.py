@@ -8,7 +8,9 @@ Exposes the library's main workflows as ``python -m repro <command>``:
 * ``stats`` — inspect a constructed graph (sizes, spectrum, degrees);
 * ``unitigs`` — filter a graph and write its unitigs as FASTA;
 * ``hetsim`` — replay the construction on simulated CPU/GPU devices and
-  report elapsed times and workload shares.
+  report elapsed times and workload shares;
+* ``checks`` — concurrency static analysis (R1-R5) and the dynamic
+  lockset race detector (delegates to ``python -m repro.checks``).
 
 All commands are deterministic given their ``--seed``.
 """
@@ -100,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drop kmers below this abundance from the summary")
     p.add_argument("--histogram-max", type=int, default=30)
     p.set_defaults(func=cmd_count)
+
+    p = sub.add_parser(
+        "checks",
+        help="concurrency lint + lockset race detector (see repro.checks)",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+    p.set_defaults(func=cmd_checks)
 
     p = sub.add_parser("hetsim", help="simulate heterogeneous co-processing")
     p.add_argument("--input", required=True, help="FASTA/FASTQ reads")
@@ -313,6 +323,14 @@ def cmd_count(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_checks(args: argparse.Namespace) -> int:
+    """Delegate to the concurrency-checks driver (same as
+    ``python -m repro.checks``)."""
+    from .checks.cli import main as checks_main
+
+    return checks_main(args.rest)
+
+
 def cmd_hetsim(args: argparse.Namespace) -> int:
     reads = load_read_batch(args.input)
     config = ParaHashConfig(k=args.k, p=args.p, n_partitions=args.partitions)
@@ -351,6 +369,11 @@ def cmd_hetsim(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # The checks driver owns its whole argument vector (argparse's
+    # REMAINDER would refuse a leading optional like `checks --help`).
+    if argv[:1] == ["checks"]:
+        return cmd_checks(argparse.Namespace(rest=argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -28,16 +28,36 @@ Access paths:
 * :meth:`ConcurrentHashTable.insert_threaded` — the real state machine
   on real Python threads (striped-lock CAS stand-ins for the hardware
   atomics), used to validate linearizability of the protocol.
+
+Concurrency discipline
+----------------------
+
+While real threads run, the authoritative occupancy flags live in
+``self._atomic_state`` (an :class:`AtomicInt64Array`); the numpy
+``self.state`` array is a **single-threaded mirror** used by the
+vectorized batch path and by queries on quiescent tables.  The mirror
+is re-synced from the atomic array after every fork-join
+(:meth:`insert_threaded`); it must never be read or written while
+worker threads are live.  Shared mutable scalars (``stats``,
+``n_occupied``) are only touched under their dedicated locks.  These
+rules are enforced mechanically by ``python -m repro.checks lint`` (the
+R1/R2 rules) and dynamically by the Eraser-style lockset detector in
+:mod:`repro.checks.lockset`; the hooks the detector needs are the
+``_trace``/``_mon_event`` shim calls below, which are no-ops unless a
+monitor is installed via :func:`repro.concurrentsub.atomics.set_monitor`.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..concurrentsub.atomics import AtomicInt64Array
+from ..concurrentsub import atomics
+from ..concurrentsub.atomics import AtomicInt64Array, TracedLock
 from ..concurrentsub.hashfunc import mix64, mix64_int
 from ..graph.dbg import MULT_SLOT, N_SLOTS, DeBruijnGraph
 from .estimator import next_power_of_two
@@ -45,6 +65,66 @@ from .estimator import next_power_of_two
 EMPTY = 0
 LOCKED = 1
 OCCUPIED = 2
+
+#: Number of times a reader spins on a LOCKED flag before it starts
+#: yielding its timeslice (``time.sleep(0)``) so a descheduled writer
+#: can run and publish.  Bounded spinning keeps the fast path fast (a
+#: writer publishes within a handful of instructions) while preventing
+#: reader livelock when the writer loses the CPU between LOCKED and
+#: OCCUPIED.
+SPIN_LIMIT = 64
+
+# -- test-only seeded bugs ------------------------------------------------------
+#
+# The repo's race-detector test suite re-introduces bugs that were fixed
+# in this file (PR 1) to prove the detector catches them.  Each name
+# gates the *old* faulty code path; production code never enables them.
+
+_KNOWN_BUGS = frozenset({"shared_stats", "numpy_publish"})
+_SEEDED_BUGS: frozenset = frozenset()
+
+
+@contextmanager
+def seed_bugs(*names: str):
+    """TEST ONLY: re-enable fixed concurrency bugs for detector validation.
+
+    ``shared_stats``  — restore the plain read-modify-write on the shared
+    ``self.stats`` object when no per-thread stats are supplied (lost
+    increments under contention; flagged by lint rule R2 and the lockset
+    detector).
+
+    ``numpy_publish`` — restore the dual publication of OCCUPIED through
+    the numpy ``state`` mirror and route ``lookup`` through that mirror
+    (un-synchronized read while threads run; flagged by the lockset
+    detector, reproduced by the interleaving scheduler).
+    """
+    unknown = set(names) - _KNOWN_BUGS
+    if unknown:
+        raise ValueError(f"unknown seeded bugs: {sorted(unknown)}")
+    global _SEEDED_BUGS
+    previous = _SEEDED_BUGS
+    _SEEDED_BUGS = frozenset(previous | set(names))
+    try:
+        yield
+    finally:
+        _SEEDED_BUGS = previous
+
+
+# -- access-recording shim (repro.checks) ---------------------------------------
+
+
+def _trace(label: str, owner: int, index: int, kind: str) -> None:
+    """Report a raw numpy access to the installed monitor, if any."""
+    m = atomics.monitor()
+    if m is not None:
+        m.record(label, owner, index, kind)
+
+
+def _mon_event(name: str, index: int | None = None, value=None) -> None:
+    """Report a named control point (scheduler pause site), if monitored."""
+    m = atomics.monitor()
+    if m is not None:
+        m.event(name, index, value)
 
 
 class TableFullError(RuntimeError):
@@ -119,8 +199,9 @@ class ConcurrentHashTable:
         self.stats = HashStats()
         # Threaded-path machinery (created lazily, under _init_lock).
         self._atomic_state: AtomicInt64Array | None = None
-        self._count_locks: list[threading.Lock] | None = None
-        self._occupied_lock = threading.Lock()
+        self._count_locks: list[TracedLock] | None = None
+        self._occupied_lock = TracedLock("occupied_lock")
+        self._stats_lock = TracedLock("stats_lock")
         self._init_lock = threading.Lock()
 
     # -- sizing ---------------------------------------------------------------
@@ -143,6 +224,9 @@ class ConcurrentHashTable:
         to running the concurrent protocol, and stats are metered as if
         the protocol had run (one key lock per insertion, one atomic
         increment per observation).
+
+        Single-threaded only: this path writes the numpy mirror
+        directly and must never overlap :meth:`insert_threaded`.
         """
         kmers = np.ascontiguousarray(kmers, dtype=np.uint64).ravel()
         slots = np.ascontiguousarray(slots, dtype=np.int64).ravel()
@@ -150,6 +234,10 @@ class ConcurrentHashTable:
             raise ValueError("kmers and slots must be parallel arrays")
         for lo in range(0, kmers.size, chunk):
             self._insert_chunk(kmers[lo : lo + chunk], slots[lo : lo + chunk])
+        if self._atomic_state is not None:
+            # Keep the authoritative threaded-mode flags in sync when a
+            # quiescent table mixes batch and threaded insertions.
+            self._atomic_state.raw()[:] = self.state  # checks: allow[R3] single-threaded resync
 
     def _insert_chunk(self, kmers: np.ndarray, slots: np.ndarray) -> None:
         stats = self.stats
@@ -219,8 +307,10 @@ class ConcurrentHashTable:
             if self._atomic_state is not None:
                 return
             atomic = AtomicInt64Array(self.capacity, n_stripes=256)
-            atomic.raw()[:] = self.state.astype(np.int64)
-            self._count_locks = [threading.Lock() for _ in range(256)]
+            atomic.raw()[:] = self.state.astype(np.int64)  # checks: allow[R3] pre-publication init under _init_lock
+            self._count_locks = [
+                TracedLock(f"count_lock[{i}]") for i in range(256)
+            ]
             self._atomic_state = atomic
 
     def insert_one_threadsafe(self, kmer: int, slot: int,
@@ -229,16 +319,48 @@ class ConcurrentHashTable:
 
         Implements the §III-C3 state machine: CAS EMPTY->LOCKED, write
         the key, publish OCCUPIED; concurrent readers seeing LOCKED spin
-        until publication; counter updates are atomic adds.
+        (bounded, then yield) until publication; counter updates are
+        atomic adds.
+
+        Stats are metered into ``local`` when given (the pattern
+        :meth:`insert_threaded` uses — one private ``HashStats`` per
+        thread, merged after the join).  Without ``local``, the op is
+        metered into a scratch object that is folded into the shared
+        ``self.stats`` under ``_stats_lock``: the shared object is never
+        the target of a plain read-modify-write from a worker thread.
         """
         self._ensure_threaded()
+        if local is not None:
+            self._insert_one(kmer, slot, local)
+            return
+        if "shared_stats" in _SEEDED_BUGS:
+            # PR-1 bug, reintroduced for detector tests: non-atomic
+            # read-modify-writes on the shared stats object.  The RMW is
+            # split across a scheduler control point so the lost-update
+            # window is deterministically reproducible.
+            _trace("stats", id(self), 0, "write")
+            before = self.stats.ops
+            _mon_event("stats_rmw", None, before)
+            scratch = HashStats()
+            self._insert_one(kmer, slot, scratch)
+            merged = self.stats.merged_with(scratch)
+            merged.ops = before + scratch.ops
+            self.stats = merged
+            return
+        scratch = HashStats()
+        self._insert_one(kmer, slot, scratch)
+        with self._stats_lock:
+            _trace("stats", id(self), 0, "write")
+            self.stats = self.stats.merged_with(scratch)
+
+    def _insert_one(self, kmer: int, slot: int, stats: HashStats) -> None:
         atomic = self._atomic_state
         assert atomic is not None and self._count_locks is not None
-        stats = local if local is not None else self.stats
         stats.ops += 1
         stats.count_increments += 1
         h = mix64_int(kmer) & (self.capacity - 1)
         offset = 0
+        spins = 0
         while True:
             if offset >= self.capacity:
                 raise TableFullError(
@@ -248,23 +370,41 @@ class ConcurrentHashTable:
             st = atomic.load(pos)
             if st == EMPTY:
                 if atomic.compare_and_swap(pos, EMPTY, LOCKED):
-                    # Exclusive writer: the key is written exactly once.
+                    # Exclusive writer: the key is written exactly once,
+                    # inside the LOCKED->OCCUPIED window.
+                    _trace("keys", id(self), pos, "write")
                     self.keys[pos] = np.uint64(kmer)
                     stats.key_locks += 1
                     stats.inserts += 1
+                    _mon_event("pre_publish", pos)
                     atomic.store(pos, OCCUPIED)
-                    self.state[pos] = OCCUPIED
+                    if "numpy_publish" in _SEEDED_BUGS:
+                        # PR-1 bug, reintroduced for detector tests: a
+                        # plain numpy write shadowing the atomic store,
+                        # read un-synchronized by lookup().
+                        _mon_event("numpy_publish", pos)
+                        _trace("state", id(self), pos, "write")
+                        self.state[pos] = OCCUPIED
                     self._add_count(pos, slot)
                     with self._occupied_lock:
+                        _trace("n_occupied", id(self), 0, "write")
                         self.n_occupied += 1
                     return
                 stats.cas_failures += 1
                 continue  # retry the same slot
             if st == LOCKED:
                 stats.blocked_reads += 1
+                spins += 1
+                if spins >= SPIN_LIMIT:
+                    # The writer that holds this slot LOCKED may be
+                    # descheduled; yield so it can run and publish.
+                    time.sleep(0)
                 continue  # spin until the writer publishes
-            # OCCUPIED: the key is immutable, read without locking.
-            if int(self.keys[pos]) == kmer:
+            # OCCUPIED: the key is immutable, read without locking.  The
+            # read is publication-ordered (we observed OCCUPIED through
+            # the atomic flag first), hence "read-acq".
+            _trace("keys", id(self), pos, "read-acq")
+            if int(self.keys[pos]) == kmer:  # checks: allow[R1] immutable after OCCUPIED publication
                 stats.updates += 1
                 self._add_count(pos, slot)
                 return
@@ -274,6 +414,7 @@ class ConcurrentHashTable:
     def _add_count(self, pos: int, slot: int) -> None:
         assert self._count_locks is not None
         with self._count_locks[pos % len(self._count_locks)]:
+            _trace("counts", id(self), pos, "write")
             self.counts[pos, slot] += 1
 
     def insert_threaded(self, kmers: np.ndarray, slots: np.ndarray,
@@ -281,7 +422,9 @@ class ConcurrentHashTable:
         """Partition the observations over real threads and run them.
 
         Returns per-thread stats; the aggregate is merged into
-        ``self.stats``.
+        ``self.stats``.  After the join, the single-threaded numpy
+        mirror of the occupancy flags is re-synced from the atomic
+        array.
         """
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -303,29 +446,61 @@ class ConcurrentHashTable:
             t.start()
         for t in threads:
             t.join()
+        self._sync_mirror()
         if errors:
             raise errors[0]
-        for s in locals_:
-            self.stats = self.stats.merged_with(s)
+        with self._stats_lock:
+            _trace("stats", id(self), 0, "write")
+            for s in locals_:
+                self.stats = self.stats.merged_with(s)
         return locals_
+
+    def _sync_mirror(self) -> None:
+        """Re-sync the single-threaded numpy mirror after a fork-join."""
+        if self._atomic_state is not None:
+            self.state[:] = self._atomic_state.snapshot().astype(self.state.dtype)
 
     # -- queries ------------------------------------------------------------------
 
+    def _load_state(self, pos: int) -> int:
+        """One occupancy flag, via the atomic array while threads may run."""
+        atomic = self._atomic_state
+        if atomic is not None and "numpy_publish" not in _SEEDED_BUGS:
+            return atomic.load(pos)
+        _trace("state", id(self), pos, "read")
+        return int(self.state[pos])
+
+    def _state_view(self) -> np.ndarray:
+        """All occupancy flags; authoritative in either mode.
+
+        The numpy ``self.state`` array is a single-threaded mirror: it
+        is stale while worker threads run, so bulk queries go through an
+        atomic snapshot whenever the threaded machinery exists.
+        """
+        if self._atomic_state is not None:
+            return self._atomic_state.snapshot().astype(np.int8)
+        return self.state
+
     def lookup(self, kmer: int) -> np.ndarray | None:
-        """Counter row for a kmer, or ``None`` when absent."""
+        """Counter row for a kmer, or ``None`` when absent.
+
+        Safe to call concurrently with :meth:`insert_one_threadsafe`:
+        occupancy flags are read through the atomic array (never the
+        numpy mirror) while the threaded machinery exists.
+        """
         h = mix64_int(int(kmer)) & (self.capacity - 1)
         for offset in range(self.capacity):
             pos = (h + offset) & (self.capacity - 1)
-            st = int(self.state[pos])
+            st = self._load_state(pos)
             if st == EMPTY:
                 return None
-            if st == OCCUPIED and int(self.keys[pos]) == int(kmer):
+            if st == OCCUPIED and int(self.keys[pos]) == int(kmer):  # checks: allow[R1] immutable after OCCUPIED publication
                 return self.counts[pos].copy()
         return None
 
     def to_graph(self) -> DeBruijnGraph:
         """Extract the subgraph: occupied entries sorted by vertex."""
-        occ = self.state == OCCUPIED
+        occ = self._state_view() == OCCUPIED
         vertices = self.keys[occ]
         counts = self.counts[occ].astype(np.uint64)
         order = np.argsort(vertices)
@@ -333,7 +508,7 @@ class ConcurrentHashTable:
 
     def multiplicity_histogram(self, max_mult: int = 16) -> np.ndarray:
         """Histogram of vertex multiplicities (error-filtering diagnostics)."""
-        occ = self.state == OCCUPIED
+        occ = self._state_view() == OCCUPIED
         mult = self.counts[occ, MULT_SLOT]
         return np.bincount(
             np.minimum(mult, max_mult).astype(np.int64), minlength=max_mult + 1

@@ -9,6 +9,28 @@ from repro.dna.reads import ReadBatch
 from repro.dna.simulate import DatasetProfile, random_genome, simulate_reads
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-race-detect", action="store_true", default=False,
+        help="run every test under the Eraser lockset monitor and fail "
+             "on candidate races (tests that seed races install their "
+             "own inner monitor, which shadows this one)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _race_detect(request):
+    """Suite-wide lockset monitoring, opt-in via --repro-race-detect."""
+    if not request.config.getoption("--repro-race-detect"):
+        yield
+        return
+    from repro.checks.instrument import lockset_session
+
+    with lockset_session(capture_stacks=False) as mon:
+        yield
+    mon.assert_no_races()
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

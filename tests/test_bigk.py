@@ -28,7 +28,6 @@ from repro.bigk.store import (
 )
 from repro.bigk.table import TwoWordHashTable, hash_planes, hash_planes_int
 from repro.dna.kmer import canonical_int, iter_kmers, revcomp_int
-from repro.dna.reads import ReadBatch
 from repro.msp.partitioner import partition_reads
 
 BIG_KS = [33, 41, 48, 63]

@@ -1,0 +1,195 @@
+"""Unit tests of the Eraser lockset state machine and monitor plumbing."""
+
+import threading
+
+from repro.checks.lockset import (
+    EXCLUSIVE,
+    SHARED,
+    SHARED_MODIFIED,
+    LocksetMonitor,
+)
+from repro.concurrentsub.atomics import TracedLock, set_monitor
+
+
+def on_thread(fn, name="helper"):
+    """Run fn() on a fresh thread and wait (distinct threading.get_ident)."""
+    t = threading.Thread(target=fn, name=name)
+    t.start()
+    t.join()
+
+
+class TestStateMachine:
+    def test_single_thread_stays_exclusive(self):
+        mon = LocksetMonitor()
+        for _ in range(5):
+            mon.record("v", 1, 0, "write")
+        assert mon.var_state("v", 1, 0) == EXCLUSIVE
+        assert mon.races() == []
+
+    def test_read_only_sharing_is_clean(self):
+        mon = LocksetMonitor()
+        mon.record("v", 1, 0, "read")
+        on_thread(lambda: mon.record("v", 1, 0, "read"))
+        assert mon.var_state("v", 1, 0) == SHARED
+        assert mon.races() == []
+
+    def test_unlocked_cross_thread_write_races(self):
+        mon = LocksetMonitor()
+        mon.record("v", 1, 0, "write")
+        on_thread(lambda: mon.record("v", 1, 0, "write"))
+        assert mon.var_state("v", 1, 0) == SHARED_MODIFIED
+        races = mon.races()
+        assert len(races) == 1
+        assert races[0].reason == "empty candidate lockset"
+        assert races[0].previous is not None
+
+    def test_consistent_lock_discipline_is_clean(self):
+        mon = LocksetMonitor()
+
+        def locked_write():
+            mon.lock_acquired("L")
+            mon.record("v", 1, 0, "write")
+            mon.lock_released("L")
+
+        locked_write()
+        on_thread(locked_write)
+        on_thread(locked_write, name="third")
+        assert mon.var_state("v", 1, 0) == SHARED_MODIFIED
+        assert mon.races() == []
+
+    def test_disjoint_locksets_race(self):
+        # Both threads hold *a* lock, but never the same one: the
+        # candidate set empties on refinement.
+        mon = LocksetMonitor()
+        mon.record("v", 1, 0, "write")  # initializer (excused)
+
+        def with_lock(lock_id):
+            def body():
+                mon.lock_acquired(lock_id)
+                mon.record("v", 1, 0, "write")
+                mon.lock_released(lock_id)
+            return body
+
+        on_thread(with_lock("A"))
+        assert mon.races() == []  # candidate = {A}, still nonempty
+        on_thread(with_lock("B"), name="other")
+        races = mon.races()
+        assert len(races) == 1
+        assert races[0].reason == "empty candidate lockset"
+
+    def test_report_only_once_per_variable(self):
+        mon = LocksetMonitor()
+        mon.record("v", 1, 0, "write")
+        for i in range(4):
+            on_thread(lambda: mon.record("v", 1, 0, "write"), name=f"w{i}")
+        assert len(mon.races()) == 1
+
+    def test_variables_are_per_cell(self):
+        mon = LocksetMonitor()
+        mon.record("keys", 1, 3, "write")
+        on_thread(lambda: mon.record("keys", 1, 4, "write"))
+        # Different cells never interact: both stay EXCLUSIVE.
+        assert mon.var_state("keys", 1, 3) == EXCLUSIVE
+        assert mon.var_state("keys", 1, 4) == EXCLUSIVE
+        assert mon.races() == []
+
+
+class TestPublicationOrdering:
+    def test_write_once_then_read_acq_is_clean(self):
+        # The state-transfer key publication: exclusive write, then
+        # lock-free reads ordered by the atomic OCCUPIED observation.
+        mon = LocksetMonitor()
+        mon.record("keys", 1, 0, "write")
+        on_thread(lambda: mon.record("keys", 1, 0, "read-acq"))
+        on_thread(lambda: mon.record("keys", 1, 0, "read-acq"), name="r2")
+        assert mon.var_state("keys", 1, 0) == SHARED
+        assert mon.races() == []
+
+    def test_unordered_publication_read_races(self):
+        # The dual-publication bug: a plain read of the numpy mirror
+        # with no happens-before edge to the writer.
+        mon = LocksetMonitor()
+        mon.record("state", 1, 0, "write")
+        on_thread(lambda: mon.record("state", 1, 0, "read"))
+        races = mon.races()
+        assert len(races) == 1
+        assert races[0].reason == "unordered publication read"
+        assert races[0].state == SHARED
+
+    def test_common_lock_orders_the_read(self):
+        mon = LocksetMonitor()
+        mon.lock_acquired("L")
+        mon.record("v", 1, 0, "write")
+        mon.lock_released("L")
+
+        def locked_read():
+            mon.lock_acquired("L")
+            mon.record("v", 1, 0, "read")
+            mon.lock_released("L")
+
+        on_thread(locked_read)
+        assert mon.races() == []
+
+    def test_read_after_read_is_not_publication(self):
+        mon = LocksetMonitor()
+        mon.record("v", 1, 0, "write")
+        mon.record("v", 1, 0, "read")  # owner's read is now `last`
+        on_thread(lambda: mon.record("v", 1, 0, "read"))
+        assert mon.races() == []
+
+
+class TestMonitorPlumbing:
+    def test_locks_held_tracks_nesting(self):
+        mon = LocksetMonitor()
+        assert mon.locks_held() == frozenset()
+        mon.lock_acquired("A")
+        mon.lock_acquired("B")
+        assert mon.locks_held() == frozenset({"A", "B"})
+        mon.lock_released("A")
+        assert mon.locks_held() == frozenset({"B"})
+        mon.lock_released("B")
+
+    def test_traced_lock_reports_to_monitor(self):
+        mon = LocksetMonitor()
+        prev = set_monitor(mon)
+        try:
+            lock = TracedLock("test_lock")
+            with lock:
+                held = mon.locks_held()
+                assert len(held) == 1
+                (lock_id,) = held
+                assert lock_id[1] == "test_lock"
+            assert mon.locks_held() == frozenset()
+        finally:
+            set_monitor(prev)
+
+    def test_assert_no_races_raises_with_description(self):
+        mon = LocksetMonitor()
+        mon.record("v", 7, 2, "write")
+        on_thread(lambda: mon.record("v", 7, 2, "write"))
+        try:
+            mon.assert_no_races()
+        except AssertionError as exc:
+            assert "candidate race" in str(exc)
+            assert "v[2]" in str(exc)
+        else:
+            raise AssertionError("expected assert_no_races to raise")
+
+    def test_max_reports_cap(self):
+        mon = LocksetMonitor(max_reports=2)
+        for i in range(5):
+            mon.record("v", 1, i, "write")
+
+        def race_all():
+            for i in range(5):
+                mon.record("v", 1, i, "write")
+
+        on_thread(race_all)
+        assert len(mon.races()) == 2
+
+    def test_report_site_attributes_caller_not_plumbing(self):
+        mon = LocksetMonitor()
+        mon.record("v", 1, 0, "write")
+        on_thread(lambda: mon.record("v", 1, 0, "write"))
+        (race,) = mon.races()
+        assert "test_checks_lockset.py" in race.access.site

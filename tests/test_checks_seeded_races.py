@@ -1,0 +1,126 @@
+"""Detector self-tests: re-seed each fixed race and require detection.
+
+Each race this PR fixed can be re-introduced behind a test-only flag
+(``repro.core.hashtable.seed_bugs``).  These tests assert that *both*
+layers of the dynamic tooling catch each one — the Eraser lockset
+monitor flags the undisciplined access, and the interleaving scheduler
+replays the bug as a deterministic wrong answer — and that the fixed
+code is clean under the same load.
+"""
+
+import pytest
+
+from repro.checks.instrument import lockset_session
+from repro.checks.schedule import (
+    lost_update_scenario,
+    stale_lookup_scenario,
+    stress_shared_path,
+    stress_threaded,
+)
+from repro.core.hashtable import ConcurrentHashTable, seed_bugs
+
+
+class TestSeedBugsGate:
+    def test_unknown_bug_name_rejected(self):
+        with pytest.raises(ValueError):
+            with seed_bugs("not_a_bug"):
+                pass
+
+    def test_flags_reset_on_exit(self):
+        from repro.core import hashtable
+
+        with seed_bugs("shared_stats"):
+            assert "shared_stats" in hashtable._SEEDED_BUGS
+        assert not hashtable._SEEDED_BUGS
+
+
+class TestSharedStatsBug:
+    def test_lockset_flags_reintroduced_race(self):
+        # Layer 2a: the lockset monitor sees unlocked cross-thread
+        # writes to the shared stats object.
+        with seed_bugs("shared_stats"):
+            table = ConcurrentHashTable(2048, k=15)
+            with lockset_session() as mon:
+                stress_shared_path(table, n_distinct=32, n_ops=512,
+                                   n_threads=4)
+            races = mon.races()
+        assert any(r.label == "stats" for r in races)
+        stats_race = next(r for r in races if r.label == "stats")
+        assert stats_race.reason == "empty candidate lockset"
+        assert "insert_one_threadsafe" in stats_race.access.site
+
+    def test_scheduler_replays_lost_update(self):
+        # Layer 2b: the adversarial schedule turns the race into a
+        # deterministic lost increment.
+        with seed_bugs("shared_stats"):
+            table = ConcurrentHashTable(256, k=15)
+            result = lost_update_scenario(table)
+        assert result.notes["ops_recorded"] == 1
+        assert result.notes["ops_expected"] == 2
+
+    def test_fixed_code_loses_nothing(self):
+        table = ConcurrentHashTable(256, k=15)
+        result = lost_update_scenario(table)
+        assert result.notes["ops_recorded"] == 2
+
+
+class TestNumpyPublishBug:
+    def test_lockset_flags_unordered_mirror_read(self):
+        # The mirror write is write-once, so classic lockset alone would
+        # stay silent; the publication-ordering extension must report
+        # the unordered read of the stale mirror.
+        with seed_bugs("numpy_publish"):
+            table = ConcurrentHashTable(2048, k=15)
+            with lockset_session() as mon:
+                stress_shared_path(table, n_distinct=32, n_ops=512,
+                                   n_threads=8)
+            races = mon.races()
+        state_races = [r for r in races if r.label == "state"]
+        assert state_races, [r.describe() for r in races]
+        assert any(r.reason == "unordered publication read"
+                   for r in state_races)
+
+    def test_scheduler_replays_stale_lookup(self):
+        # Deterministic linearizability failure: the updater's insert
+        # returned, yet lookup (reading the paused writer's stale
+        # mirror) misses the key.
+        with seed_bugs("numpy_publish"):
+            table = ConcurrentHashTable(256, k=15)
+            result = stale_lookup_scenario(table)
+        assert result.lookup_missed is True
+
+    def test_fixed_code_lookup_linearizes(self):
+        table = ConcurrentHashTable(256, k=15)
+        result = stale_lookup_scenario(table)
+        assert result.lookup_missed is False
+
+
+class TestFixedTreeClean:
+    def test_threaded_stress_no_candidate_races(self):
+        table = ConcurrentHashTable(2048, k=15)
+        with lockset_session() as mon:
+            stress_threaded(table, n_distinct=64, n_ops=2048, n_threads=8)
+        mon.assert_no_races()
+
+    def test_shared_path_stress_no_candidate_races(self):
+        table = ConcurrentHashTable(2048, k=15)
+        with lockset_session() as mon:
+            stress_shared_path(table, n_distinct=64, n_ops=1024, n_threads=8)
+        mon.assert_no_races()
+
+    def test_bigk_threaded_stress_no_candidate_races(self):
+        import numpy as np
+
+        from repro.bigk.table import TwoWordHashTable
+
+        rng = np.random.default_rng(7)
+        # Duplicate-heavy two-word keys (> 64 bits) to force contention.
+        distinct = [int(x) for x in
+                    rng.integers(0, 1 << 60, size=64, dtype=np.uint64)]
+        kmers = [distinct[i] << 30 | 5
+                 for i in rng.integers(0, len(distinct), size=512)]
+        slots = rng.integers(0, 9, size=512).astype(np.int64)
+        table = TwoWordHashTable(2048, k=47)
+        with lockset_session() as mon:
+            table.insert_threaded(kmers, slots, n_threads=8)
+        mon.assert_no_races()

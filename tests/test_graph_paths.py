@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.dna.alphabet import decode
-from repro.dna.reads import ReadBatch
 from repro.dna.simulate import DatasetProfile, random_genome, simulate_reads
 from repro.graph.build import build_reference_graph
 from repro.graph.paths import assembly_metrics, greedy_contigs

@@ -5,7 +5,6 @@ import pytest
 
 from repro.dna import alphabet as al
 from repro.dna import minimizer as mz
-from repro.dna.kmer import revcomp_int
 
 
 class TestSlidingMin:
