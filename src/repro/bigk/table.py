@@ -57,12 +57,55 @@ class TwoWordHashTable:
         self.keys_lo = np.zeros(self.capacity, dtype=np.uint64)
         self.counts = np.zeros((self.capacity, N_SLOTS), dtype=np.uint32)
         self.n_occupied = 0
+        self._init_runtime()
+
+    def _init_runtime(self) -> None:
+        """State shared by both constructors (stats + lazy threaded locks)."""
         self.stats = HashStats()
         self._atomic_state: AtomicInt64Array | None = None
         self._count_locks: list[TracedLock] | None = None
         self._occupied_lock = TracedLock("occupied_lock")
         self._stats_lock = TracedLock("stats_lock")
         self._init_lock = threading.Lock()
+
+    @classmethod
+    def from_views(cls, k: int, state: np.ndarray, keys_hi: np.ndarray,
+                   keys_lo: np.ndarray, counts: np.ndarray,
+                   n_occupied: int | None = None) -> "TwoWordHashTable":
+        """Construct a table over externally owned buffers (no copy).
+
+        Two-word twin of
+        :meth:`repro.core.hashtable.ConcurrentHashTable.from_views`:
+        the four arrays are typically views over one shared-memory
+        segment, so the process backend can fill and read big-K tables
+        without pickling.  The caller owns buffer lifetime.
+        """
+        check_2w_k(k)
+        capacity = int(state.size)
+        if capacity < 2 or capacity & (capacity - 1):
+            raise ValueError("state size must be a power of two >= 2")
+        if keys_hi.shape != (capacity,) or keys_lo.shape != (capacity,) \
+                or counts.shape[0] != capacity:
+            raise ValueError("state, keys and counts must agree on capacity")
+        table = cls.__new__(cls)
+        table.capacity = capacity
+        table._mask = np.uint64(capacity - 1)
+        table.k = k
+        table.state = state
+        table.keys_hi = keys_hi
+        table.keys_lo = keys_lo
+        table.counts = counts
+        table.n_occupied = (
+            int((state == OCCUPIED).sum()) if n_occupied is None
+            else int(n_occupied)
+        )
+        table._init_runtime()
+        return table
+
+    def detach_views(self) -> None:
+        """Release array references before the owning segment closes."""
+        self.state = self.keys_hi = self.keys_lo = self.counts = None  # type: ignore[assignment]
+        self._atomic_state = None
 
     @property
     def load_factor(self) -> float:

@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--partitions", type=int, default=32)
     p.add_argument("--threads", type=int, default=1,
                    help="co-processing worker threads for Step 2")
+    p.add_argument("--backend", choices=["serial", "threads", "processes"],
+                   default="serial",
+                   help="execution backend for the pipeline (k <= 31)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker count for --backend threads/processes "
+                        "(0 = all cores)")
     p.add_argument("--workdir",
                    help="directory for encoded partition files (disk-backed run)")
     p.add_argument("--output", required=True, help="graph file (.phdbg)")
@@ -153,9 +159,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_build(args: argparse.Namespace) -> int:
     reads = load_read_batch(args.input)
     if args.k > 31:
+        if args.backend != "serial":
+            print(f"error: --backend {args.backend} is only supported "
+                  "for k <= 31",
+                  file=sys.stderr)
+            return 2
         return _build_bigk(args, reads)
     config = ParaHashConfig(
-        k=args.k, p=args.p, n_partitions=args.partitions, n_threads=args.threads
+        k=args.k, p=args.p, n_partitions=args.partitions,
+        n_threads=args.threads, backend=args.backend, n_workers=args.workers,
     )
     result = ParaHash(config).build_graph(
         reads, workdir=Path(args.workdir) if args.workdir else None

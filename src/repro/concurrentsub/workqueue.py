@@ -22,6 +22,7 @@ distribution study.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -211,3 +212,54 @@ def run_coprocessed(
     if errors:
         raise errors[0]
     return results, records
+
+
+# -- process-safe work stealing --------------------------------------------------
+
+
+class ProcessTicketQueue:
+    """The ``cns`` ticket dispenser across *processes*, with weights.
+
+    The thread-path :class:`InputQueue` holds its items in Python
+    memory, which processes cannot share; in the process backend the
+    items (read chunks, partition files, shared tables) are addressable
+    by index from every worker, so the only state that must be shared
+    is the claim counter itself.  This class is exactly that: a
+    ``multiprocessing.Value`` fetch-add ticket dispenser implementing
+    the paper's ``cns`` protocol.
+
+    **Weighted dispatch** generalizes §III-E's CPU/GPU dispatch: a
+    worker standing in for a throughput-``w`` device claims up to ``w``
+    *consecutive* tickets per visit, so faster devices drain
+    proportionally more of the queue while the claim itself stays one
+    atomic fetch-add.  Weight 1 recovers plain work stealing.
+
+    Instances are created by the parent and passed to workers through
+    ``Process`` arguments (picklable via the multiprocessing context on
+    every start method).
+    """
+
+    def __init__(self, n_items: int,
+                 ctx: mp.context.BaseContext | None = None) -> None:
+        if n_items < 0:
+            raise ValueError("n_items must be >= 0")
+        ctx = ctx or mp.get_context()
+        self.n_items = n_items
+        self._cns = ctx.Value("q", 0)
+
+    def claim(self, weight: int = 1) -> list[int]:
+        """Claim up to ``weight`` consecutive tickets; ``[]`` when drained."""
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        with self._cns.get_lock():
+            start = int(self._cns.value)
+            take = min(weight, self.n_items - start)
+            if take <= 0:
+                return []
+            self._cns.value = start + take
+        return list(range(start, start + take))
+
+    def claimed(self) -> int:
+        """Tickets handed out so far (for progress reporting)."""
+        with self._cns.get_lock():
+            return min(self.n_items, int(self._cns.value))

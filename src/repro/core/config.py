@@ -8,9 +8,13 @@ keeps each hash table comfortably small.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from .estimator import SizingPolicy
+
+#: Execution backends of :meth:`repro.core.parahash.ParaHash.build_graph`.
+BACKENDS = ("serial", "threads", "processes")
 
 
 @dataclass(frozen=True)
@@ -35,6 +39,15 @@ class ParaHashConfig:
     n_threads:
         Worker threads for Step 2's real-thread path; 1 selects the
         vectorized batch path.
+    backend:
+        Execution backend for the end-to-end driver: ``"serial"`` (one
+        process, vectorized kernels), ``"threads"`` (the §III-E
+        work-stealing queue across ``n_workers`` threads), or
+        ``"processes"`` (worker processes over shared memory — see
+        :mod:`repro.parallel.backend`).
+    n_workers:
+        Worker count for the ``threads``/``processes`` backends;
+        0 means auto (the machine's CPU count).
     """
 
     k: int = 27
@@ -43,6 +56,8 @@ class ParaHashConfig:
     n_input_pieces: int = 4
     sizing: SizingPolicy = field(default_factory=SizingPolicy)
     n_threads: int = 1
+    backend: str = "serial"
+    n_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -57,6 +72,18 @@ class ParaHashConfig:
             raise ValueError("n_input_pieces must be >= 1")
         if self.n_threads < 1:
             raise ValueError("n_threads must be >= 1")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0 (0 = auto)")
+
+    def workers(self) -> int:
+        """Resolved worker count for the parallel backends (>= 1)."""
+        if self.n_workers > 0:
+            return self.n_workers
+        return max(1, os.cpu_count() or 1)
 
     def with_(self, **changes) -> "ParaHashConfig":
         """A modified copy (convenience for sweeps)."""

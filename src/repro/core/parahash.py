@@ -153,8 +153,25 @@ class ParaHash:
         partitions); otherwise everything stays in memory.  With
         ``output_dir`` set, Step 2 additionally writes each constructed
         subgraph as a binary file — the workflow's final output stage.
+
+        ``config.backend`` selects the execution backend.  ``serial``
+        runs everything in this thread; ``threads`` co-processes both
+        steps over ``config.workers()`` threads through the §III-E
+        queue; ``processes`` hands the run to the shared-memory process
+        backend (:func:`repro.parallel.backend.build_graph_processes`).
+        All three produce the identical graph.
         """
         cfg = self.config
+        if cfg.backend == "processes":
+            from ..parallel.backend import build_graph_processes
+
+            return build_graph_processes(
+                reads, cfg, workdir=workdir, output_dir=output_dir
+            )
+        if cfg.backend == "threads" and cfg.n_threads < cfg.workers():
+            threaded = ParaHash(cfg.with_(n_threads=cfg.workers()))
+            return threaded.build_graph(reads, workdir=workdir,
+                                        output_dir=output_dir)
         t0 = time.perf_counter()
         io_seconds = 0.0
         partition_bytes = 0

@@ -26,8 +26,8 @@ from pathlib import Path
 
 import numpy as np
 
-from ..dna.encoding import pack_codes, packed_size, unpack_codes
-from .records import NO_EXT, SuperkmerBlock, SuperkmerRecord, block_from_records
+from ..dna.encoding import pack_codes
+from .records import NO_EXT, SuperkmerBlock
 
 MAGIC = b"PHSK"
 FORMAT_VERSION = 1
@@ -80,14 +80,15 @@ class PartitionWriter:
         self._count += 1
 
     def write_block(self, block: SuperkmerBlock) -> None:
-        """Append every record of a block."""
+        """Append every record of a block (vectorized encoding)."""
+        if self._fh is None:
+            raise ValueError("writer already closed")
         if block.k != self.k:
             raise ValueError(f"block k={block.k} does not match writer k={self.k}")
-        for i in range(block.n_superkmers):
-            lo, hi = int(block.offsets[i]), int(block.offsets[i + 1])
-            self.write_record(
-                block.bases[lo:hi], int(block.left_ext[i]), int(block.right_ext[i])
-            )
+        if block.n_superkmers == 0:
+            return
+        self._fh.write(encode_block(block))
+        self._count += block.n_superkmers
 
     def close(self) -> int:
         """Patch the record count into the header; returns the count."""
@@ -106,6 +107,56 @@ class PartitionWriter:
         self.close()
 
 
+def encode_block(block: SuperkmerBlock) -> bytes:
+    """Encode a whole block's records at once (no per-record loop).
+
+    Produces exactly the bytes the record-at-a-time
+    :meth:`PartitionWriter.write_record` path would: little-endian
+    ``u16`` length, extension byte, then the bases packed 4-per-byte
+    MSB-first (matching :func:`repro.dna.encoding.pack_codes`).  The
+    payload bytes of all records are assembled with one scatter per bit
+    lane, which is what makes spilling the full superkmer stream to
+    disk cheap enough for the process backend.
+    """
+    lens = block.lengths
+    n = lens.size
+    if n == 0:
+        return b""
+    if int(lens.max()) > 0xFFFF:
+        raise ValueError("superkmer too long for u16 length field")
+    packed = (lens + 3) // 4
+    rec_sizes = 3 + packed
+    starts = np.concatenate(([0], np.cumsum(rec_sizes)[:-1]))
+    out = np.zeros(int(rec_sizes.sum()), dtype=np.uint8)
+    out[starts] = (lens & 0xFF).astype(np.uint8)
+    out[starts + 1] = ((lens >> 8) & 0xFF).astype(np.uint8)
+    left = block.left_ext
+    right = block.right_ext
+    flags = np.zeros(n, dtype=np.uint8)
+    has_l = left != NO_EXT
+    has_r = right != NO_EXT
+    flags[has_l] |= 0x01 | ((left[has_l].astype(np.uint8) & 0x3) << 2)
+    flags[has_r] |= 0x02 | ((right[has_r].astype(np.uint8) & 0x3) << 4)
+    out[starts + 2] = flags
+    # Payload: for packed byte j of record i, gather bases
+    # 4j .. 4j+3 (first base in the most significant bit pair).
+    total_packed = int(packed.sum())
+    rec_of = np.repeat(np.arange(n, dtype=np.int64), packed)
+    within = np.arange(total_packed, dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(packed)[:-1])), packed
+    )
+    base0 = block.offsets[:-1][rec_of] + 4 * within
+    bases = block.bases
+    vals = np.zeros(total_packed, dtype=np.uint8)
+    for lane in range(4):
+        valid = (4 * within + lane) < lens[rec_of]
+        idx = np.minimum(base0 + lane, max(0, bases.size - 1))
+        lane_vals = np.where(valid, bases[idx], 0).astype(np.uint8)
+        vals |= lane_vals << (6 - 2 * lane)
+    out[starts[rec_of] + 3 + within] = vals
+    return out.tobytes()
+
+
 def read_partition_header(path: str | os.PathLike) -> tuple[int, int]:
     """Return ``(k, record_count)`` from a partition file header."""
     with open(path, "rb") as fh:
@@ -121,7 +172,13 @@ def read_partition_header(path: str | os.PathLike) -> tuple[int, int]:
 
 
 def read_partition(path: str | os.PathLike) -> SuperkmerBlock:
-    """Load a partition file back into a :class:`SuperkmerBlock`."""
+    """Load a partition file back into a :class:`SuperkmerBlock`.
+
+    The record scan is the only sequential part (each record's length
+    determines the next record's position); headers, extensions and
+    base unpacking are decoded with vectorized gathers over the whole
+    payload.
+    """
     with open(path, "rb") as fh:
         data = fh.read()
     if len(data) < _HEADER.size:
@@ -131,25 +188,44 @@ def read_partition(path: str | os.PathLike) -> SuperkmerBlock:
         raise PartitionFormatError(f"{path}: bad magic {magic!r}")
     if version != FORMAT_VERSION:
         raise PartitionFormatError(f"{path}: unsupported version {version}")
-    records: list[SuperkmerRecord] = []
+    starts = np.empty(count, dtype=np.int64)
+    lens = np.empty(count, dtype=np.int64)
     pos = _HEADER.size
-    for i in range(count):
-        if pos + _REC_HEAD.size > len(data):
-            raise PartitionFormatError(f"{path}: truncated at record {i}")
-        n, flags = _REC_HEAD.unpack_from(data, pos)
-        pos += _REC_HEAD.size
-        nbytes = packed_size(n)
-        if pos + nbytes > len(data):
-            raise PartitionFormatError(f"{path}: truncated bases at record {i}")
-        bases = unpack_codes(data[pos : pos + nbytes], n)
-        pos += nbytes
-        left, right = _ext_from_byte(flags)
-        if n < k:
-            raise PartitionFormatError(f"{path}: record {i} shorter than k={k}")
-        records.append(SuperkmerRecord(bases=bases, left_ext=left, right_ext=right))
+    i = 0
+    try:
+        for i in range(count):
+            n = data[pos] | (data[pos + 1] << 8)
+            starts[i] = pos
+            lens[i] = n
+            pos += 3 + ((n + 3) >> 2)
+    except IndexError:
+        raise PartitionFormatError(f"{path}: truncated at record {i}") from None
+    if pos > len(data):
+        raise PartitionFormatError(f"{path}: truncated bases at record {count - 1}")
     if pos != len(data):
         raise PartitionFormatError(f"{path}: {len(data) - pos} trailing bytes")
-    return block_from_records(k, records)
+    if count and int(lens.min()) < k:
+        short = int(np.argmin(lens))
+        raise PartitionFormatError(f"{path}: record {short} shorter than k={k}")
+    raw = np.frombuffer(data, dtype=np.uint8)
+    flags = raw[starts + 2] if count else np.zeros(0, dtype=np.uint8)
+    left_ext = np.where(
+        flags & 0x01, (flags >> 2) & 0x3, NO_EXT
+    ).astype(np.int8)
+    right_ext = np.where(
+        flags & 0x02, (flags >> 4) & 0x3, NO_EXT
+    ).astype(np.int8)
+    offsets = np.concatenate(([0], np.cumsum(lens))).astype(np.int64)
+    total = int(offsets[-1])
+    rec_of = np.repeat(np.arange(count, dtype=np.int64), lens)
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], lens)
+    byte_pos = starts[rec_of] + 3 + (within >> 2)
+    shift = 6 - 2 * (within & 3)
+    bases = ((raw[byte_pos] >> shift) & 0x3).astype(np.uint8)
+    return SuperkmerBlock(
+        k=k, bases=bases, offsets=offsets,
+        left_ext=left_ext, right_ext=right_ext,
+    )
 
 
 def partition_file_size(block: SuperkmerBlock) -> int:
@@ -162,3 +238,43 @@ def write_partition(path: str | os.PathLike, block: SuperkmerBlock) -> int:
     with PartitionWriter(path, block.k) as writer:
         writer.write_block(block)
     return os.path.getsize(path)
+
+
+def concat_partition_files(
+    dest: str | os.PathLike, sources: list[Path] | list[str],
+    k: int | None = None,
+) -> int:
+    """Merge partition files record-for-record at the byte level.
+
+    Records are self-delimiting, so merging is a header rewrite plus a
+    raw payload copy — no decode/re-encode.  This is how the process
+    backend folds per-worker spill files into one canonical partition
+    file (all sources share a partition id, hence a minimizer-hash
+    class).  Returns the merged record count.
+    """
+    total = 0
+    with open(dest, "wb") as out:
+        out.write(_HEADER.pack(MAGIC, FORMAT_VERSION, 0, 0, 0))
+        for src in sources:
+            src_k, count = read_partition_header(src)
+            if k is None:
+                k = src_k
+            elif src_k != k:
+                raise PartitionFormatError(
+                    f"{src}: k={src_k} does not match merge k={k}"
+                )
+            total += count
+            with open(src, "rb") as fh:
+                fh.seek(_HEADER.size)
+                while True:
+                    chunk = fh.read(1 << 20)
+                    if not chunk:
+                        break
+                    out.write(chunk)
+        out.seek(0)
+        if k is None:
+            raise PartitionFormatError(
+                f"{dest}: merging zero sources needs an explicit k"
+            )
+        out.write(_HEADER.pack(MAGIC, FORMAT_VERSION, k, 0, total))
+    return total

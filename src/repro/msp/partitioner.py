@@ -191,3 +191,103 @@ def partition_to_files(
 def load_partitions(paths: list[Path] | list[str]) -> list[SuperkmerBlock]:
     """Read partition files back into blocks (Step 2's input stage)."""
     return [read_partition(path) for path in paths]
+
+
+# -- per-worker spill files (process backend) ------------------------------------
+
+
+def spill_path(spill_dir: Path, worker_id: int, partition: int) -> Path:
+    """Naming convention for one worker's spill file of one partition."""
+    return Path(spill_dir) / f"spill_w{worker_id:03d}_p{partition:04d}.phsk"
+
+
+class SpillWriterSet:
+    """One worker's spill files — a private partition-file set.
+
+    Step 1's process fan-out gives every worker its *own* output files
+    (no cross-process file locking): the worker appends each processed
+    read chunk's superkmer blocks here, and the parent later merges all
+    workers' spills partition by partition.  Files are created lazily,
+    so partitions a worker never touched leave no file behind.
+    """
+
+    def __init__(self, spill_dir: str | os.PathLike, worker_id: int, k: int,
+                 n_partitions: int) -> None:
+        self.spill_dir = Path(spill_dir)
+        self.worker_id = worker_id
+        self.k = k
+        self.n_partitions = n_partitions
+        self._writers: dict[int, PartitionWriter] = {}
+
+    def write_result(self, result: MspResult) -> None:
+        """Append one chunk's blocks to this worker's spill files."""
+        for partition, block in enumerate(result.blocks):
+            if not block.n_superkmers:
+                continue
+            writer = self._writers.get(partition)
+            if writer is None:
+                writer = PartitionWriter(
+                    spill_path(self.spill_dir, self.worker_id, partition),
+                    self.k,
+                )
+                self._writers[partition] = writer
+            writer.write_block(block)
+
+    def close(self) -> dict[int, Path]:
+        """Close all files; returns ``{partition: path}`` actually written."""
+        paths = {}
+        for partition, writer in sorted(self._writers.items()):
+            writer.close()
+            paths[partition] = writer.path
+        self._writers = {}
+        return paths
+
+
+def spill_groups(
+    spill_paths: list[dict[int, Path]] | list[dict[int, str]],
+    n_partitions: int,
+) -> list[list[Path]]:
+    """Group per-worker spill files by partition id.
+
+    ``spill_paths[w]`` maps partition id to worker ``w``'s spill file.
+    Because MSP routes every duplicate of a kmer to one partition id
+    (the minimizer-hash class), grouping by that id *is* the merge key:
+    ``groups[p]`` lists every worker's contribution to partition ``p``.
+    """
+    groups: list[list[Path]] = [[] for _ in range(n_partitions)]
+    for per_worker in spill_paths:
+        for partition, path in per_worker.items():
+            groups[int(partition)].append(Path(path))
+    return groups
+
+
+def load_partition_group(paths: list[Path], k: int) -> SuperkmerBlock:
+    """Concatenate one partition's spill files into a single block."""
+    from .records import block_from_records, concat_blocks
+
+    if not paths:
+        return block_from_records(k, [])
+    blocks = [read_partition(path) for path in paths]
+    return blocks[0] if len(blocks) == 1 else concat_blocks(blocks)
+
+
+def merge_spill_files(
+    groups: list[list[Path]], out_dir: str | os.PathLike, k: int
+) -> list[Path]:
+    """Fold spill groups into canonical ``partition_%04d.phsk`` files.
+
+    Byte-level concatenation (see
+    :func:`repro.msp.binio.concat_partition_files`) — used when the
+    caller asked for a persistent ``workdir``, so the on-disk layout
+    matches a serial :func:`partition_to_files` run file-for-file.
+    """
+    from .binio import concat_partition_files
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    merged: list[Path] = []
+    for partition, sources in enumerate(groups):
+        dest = out / f"partition_{partition:04d}.phsk"
+        concat_partition_files(dest, sources, k=k)
+        merged.append(dest)
+    return merged

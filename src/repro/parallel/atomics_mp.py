@@ -1,0 +1,92 @@
+"""Cross-process atomic primitives for the state-transfer protocol.
+
+:class:`ProcessAtomicInt64Array` is the process twin of
+:class:`repro.concurrentsub.atomics.AtomicInt64Array`: same
+``load`` / ``store`` / ``add`` / ``compare_and_swap`` surface, but the
+storage is a numpy view over a ``multiprocessing.shared_memory``
+segment and the stripe locks are ``multiprocessing.Lock`` objects, so
+mutual exclusion holds across *processes*, not just threads.  Plugged
+into :class:`~repro.core.hashtable.ConcurrentHashTable`, it lets
+several worker processes run the §III-C3 state machine (CAS
+EMPTY→LOCKED, write key, publish OCCUPIED) against one table in
+genuinely concurrent memory — the configuration the paper's hardware
+``atomicCAS`` serves.
+
+The lock bundle is created by the parent (:func:`create_lock_bundle`)
+and inherited by workers through ``multiprocessing.Process`` arguments;
+the int64 flag array lives in a shared segment described by a picklable
+:class:`~repro.parallel.shm.SegmentSpec`.
+
+Unlike the thread-path array this class keeps no operation counters:
+cross-process shared counters would serialize every op on one lock,
+and the per-op protocol already meters its events into per-worker
+:class:`~repro.core.hashtable.HashStats` objects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def create_lock_bundle(ctx: mp.context.BaseContext | None = None,
+                       n_stripes: int = 64) -> list:
+    """Striped cross-process locks, picklable through ``Process`` args."""
+    ctx = ctx or mp.get_context()
+    if n_stripes < 1:
+        raise ValueError("n_stripes must be >= 1")
+    return [ctx.Lock() for _ in range(n_stripes)]
+
+
+class ProcessAtomicInt64Array:
+    """Fixed-size int64 array with CAS/add/load/store across processes.
+
+    ``view`` must be an int64 numpy view over shared memory (every
+    participating process wraps its own view of the same segment);
+    ``locks`` must be the same lock bundle in every process — stripe
+    ``i % len(locks)`` guards cell ``i``.
+    """
+
+    def __init__(self, view: np.ndarray, locks: Sequence) -> None:
+        if view.dtype != np.int64:
+            raise ValueError("flag view must be int64")
+        if not locks:
+            raise ValueError("need at least one stripe lock")
+        self._view = view
+        self._locks = list(locks)
+        self._n_stripes = len(self._locks)
+
+    def __len__(self) -> int:
+        return int(self._view.size)
+
+    def _lock_for(self, index: int):
+        return self._locks[index % self._n_stripes]
+
+    def load(self, index: int) -> int:
+        with self._lock_for(index):
+            return int(self._view[index])
+
+    def store(self, index: int, value: int) -> None:
+        with self._lock_for(index):
+            self._view[index] = value
+
+    def add(self, index: int, delta: int = 1) -> int:
+        """Atomic fetch-and-add; returns the *previous* value."""
+        with self._lock_for(index):
+            old = int(self._view[index])
+            self._view[index] = old + delta
+        return old
+
+    def compare_and_swap(self, index: int, expected: int, new: int) -> bool:
+        """Atomic CAS; returns ``True`` when the swap happened."""
+        with self._lock_for(index):
+            ok = int(self._view[index]) == expected
+            if ok:
+                self._view[index] = new
+        return ok
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the underlying array (not atomic across cells)."""
+        return self._view.copy()

@@ -1,0 +1,419 @@
+"""The process-parallel execution backend (``backend="processes"``).
+
+Runs both ParaHash steps across worker *processes* so the pipeline
+scales with cores instead of being serialized by the GIL:
+
+* **Step 1** — the read matrix is copied once into shared memory and
+  split into chunks; workers claim chunks from a
+  :class:`~repro.concurrentsub.workqueue.ProcessTicketQueue` (the
+  paper's ``cns`` work stealing, with weighted dispatch) and append
+  each chunk's superkmer blocks to their own spill files.  Grouping
+  the spill files by partition id — the minimizer-hash class — is the
+  merge.
+* **Step 2** — the parent pre-creates one shared-memory hash-table
+  segment per non-empty partition (sized by Property 1 from the exact
+  per-partition kmer counts Step 1 reported); workers claim partitions,
+  read their spill group, and run the vectorized insert kernel directly
+  into the shared buffers.  The parent then reads each finished table
+  *in place* — result transfer is zero-copy, nothing big is pickled.
+
+A table whose Property-1 estimate is breached (``TableFullError``)
+falls back to a worker-local regrown table whose graph is returned
+through the result queue.
+
+:func:`concurrent_insert_processes` additionally exercises the
+§III-C3 state machine itself across processes — several workers CAS
+the *same* table's occupancy flags through
+:class:`~repro.parallel.atomics_mp.ProcessAtomicInt64Array` — which is
+what validates that the state-transfer protocol is sound on genuinely
+concurrent memory, not merely under the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..concurrentsub.workqueue import ProcessTicketQueue, WorkerRecord
+from ..core.estimator import next_power_of_two
+from ..core.hashtable import HashStats, TableFullError
+from ..dna.reads import ReadBatch
+from ..graph.dbg import DeBruijnGraph, empty_graph
+from ..graph.merge import merge_disjoint
+from ..msp.partitioner import (
+    SpillWriterSet,
+    load_partition_group,
+    merge_spill_files,
+    partition_reads,
+    spill_groups,
+)
+from .atomics_mp import ProcessAtomicInt64Array, create_lock_bundle
+from .pool import default_context, run_workers
+from .shm import (
+    HEADER_N_OCCUPIED,
+    SegmentSpec,
+    attach_read_batch,
+    attach_segment,
+    create_segment,
+    create_table_segment,
+    share_read_batch,
+    table_over_segment,
+)
+
+
+@dataclass(frozen=True)
+class _Step2Job:
+    """One partition's work order, addressable by ticket index."""
+
+    partition: int
+    k: int
+    table_spec: SegmentSpec
+    group: tuple[str, ...]
+
+
+# -- worker entry points (top-level: picklable under spawn) ----------------------
+
+
+def _step1_worker(worker_id: int, batch_spec: SegmentSpec,
+                  chunk_bounds: list[tuple[int, int]],
+                  tickets: ProcessTicketQueue, weights: list[int], k: int,
+                  p: int, n_partitions: int, spill_dir: str) -> dict:
+    """Claim read chunks, partition them, spill per-worker files."""
+
+    def consume(batch: ReadBatch, spills: SpillWriterSet) -> dict:
+        # Inner frame: every view over the shared codes matrix dies
+        # when this returns, so the segment can close cleanly.
+        weight = weights[worker_id]
+        claimed: list[int] = []
+        n_superkmers = 0
+        n_reads = 0
+        kmers_per_partition = np.zeros(n_partitions, dtype=np.int64)
+        while True:
+            ids = tickets.claim(weight)
+            if not ids:
+                break
+            for chunk_id in ids:
+                lo, hi = chunk_bounds[chunk_id]
+                piece = ReadBatch(codes=batch.codes[lo:hi])
+                result = partition_reads(piece, k, p, n_partitions)
+                spills.write_result(result)
+                n_superkmers += len(result.superkmers)
+                n_reads += piece.n_reads
+                kmers_per_partition += result.kmers_per_partition()
+                claimed.append(chunk_id)
+        return {
+            "claimed": claimed,
+            "n_superkmers": n_superkmers,
+            "n_reads": n_reads,
+            "kmers_per_partition": kmers_per_partition.tolist(),
+        }
+
+    batch, seg = attach_read_batch(batch_spec)
+    spills = SpillWriterSet(spill_dir, worker_id, k, n_partitions)
+    try:
+        report = consume(batch, spills)
+    finally:
+        paths = spills.close()
+        del batch
+        seg.close()
+    report["spills"] = {
+        partition: str(path) for partition, path in paths.items()
+    }
+    return report
+
+
+def _step2_worker(worker_id: int, jobs: list[_Step2Job],
+                  tickets: ProcessTicketQueue, weights: list[int],
+                  sizing) -> list[dict]:
+    """Claim partitions and fill their shared tables in place."""
+    from ..core.subgraph import block_observations, build_subgraph
+
+    weight = weights[worker_id]
+    out: list[dict] = []
+    while True:
+        ids = tickets.claim(weight)
+        if not ids:
+            break
+        for ticket in ids:
+            job = jobs[ticket]
+            block = load_partition_group([Path(s) for s in job.group], job.k)
+            payload: dict = {"partition": job.partition,
+                             "n_kmers": block.total_kmers()}
+            seg = attach_segment(job.table_spec)
+            table = table_over_segment(seg, job.k, fresh=True)
+            try:
+                vertex_ids, slots = block_observations(block)
+                table.insert_batch(vertex_ids, slots)
+                seg["header"][HEADER_N_OCCUPIED] = table.n_occupied
+                payload["stats"] = table.stats
+                payload["fallback"] = None
+            except TableFullError:
+                # Property-1 estimate breached: regrow locally and ship
+                # the (rare) oversized result through the queue instead.
+                result = build_subgraph(block, policy=sizing, n_threads=1)
+                payload["stats"] = result.stats
+                payload["fallback"] = result.graph
+            finally:
+                table.detach_views()
+                seg.close()
+            out.append(payload)
+    return out
+
+
+# -- the driver ------------------------------------------------------------------
+
+
+def build_graph_processes(
+    reads: ReadBatch,
+    config,
+    workdir: str | Path | None = None,
+    output_dir: str | Path | None = None,
+    weights: list[int] | None = None,
+):
+    """Run the two-step workflow across worker processes.
+
+    Mirrors :meth:`repro.core.parahash.ParaHash.build_graph` (same
+    result type, graph bit-for-bit identical to the serial backend) but
+    executes Step 1 and Step 2 on ``config.workers()`` processes.
+    ``weights`` optionally skews the ticket dispatch (one entry per
+    worker; a weight-``w`` worker claims ``w`` chunks per visit — the
+    CPU/GPU-style dispatch knob).
+    """
+    from ..core.parahash import ParaHashResult, StageTimings
+
+    cfg = config
+    n_workers = cfg.workers()
+    if weights is None:
+        weights = [1] * n_workers
+    if len(weights) != n_workers or min(weights) < 1:
+        raise ValueError("weights must give every worker a weight >= 1")
+    ctx = default_context()
+
+    tmp: tempfile.TemporaryDirectory | None = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-parallel-")
+        spill_dir = Path(tmp.name)
+    else:
+        spill_dir = Path(workdir) / "spill"
+        spill_dir.mkdir(parents=True, exist_ok=True)
+
+    t0 = time.perf_counter()
+    io_seconds = 0.0
+    try:
+        # ---- Step 1: chunked fan-out over shared read memory --------------
+        n_chunks = max(cfg.n_input_pieces, 2 * n_workers)
+        bounds_arr = np.linspace(0, reads.n_reads, n_chunks + 1).astype(int)
+        chunk_bounds = [
+            (int(bounds_arr[i]), int(bounds_arr[i + 1]))
+            for i in range(n_chunks)
+            if bounds_arr[i + 1] > bounds_arr[i]
+        ]
+        reports: list[dict] = []
+        if chunk_bounds:
+            tickets1 = ProcessTicketQueue(len(chunk_bounds), ctx)
+            batch_seg = share_read_batch(reads)
+            try:
+                reports = run_workers(
+                    _step1_worker, n_workers, ctx=ctx,
+                    args=(batch_seg.spec, chunk_bounds, tickets1, weights,
+                          cfg.k, cfg.p, cfg.n_partitions, str(spill_dir)),
+                )
+            finally:
+                batch_seg.unlink()
+
+        n_superkmers = sum(r["n_superkmers"] for r in reports)
+        kmers_per_partition = np.zeros(cfg.n_partitions, dtype=np.int64)
+        for r in reports:
+            kmers_per_partition += np.asarray(r["kmers_per_partition"],
+                                              dtype=np.int64)
+        groups = spill_groups([r["spills"] for r in reports],
+                              cfg.n_partitions)
+        partition_bytes = sum(
+            os.path.getsize(path) for group in groups for path in group
+        )
+        if workdir is not None:
+            # Persist canonical partition files next to the spills so the
+            # on-disk layout matches a serial disk-backed run.
+            t_io = time.perf_counter()
+            merged = merge_spill_files(groups, workdir, cfg.k)
+            io_seconds += time.perf_counter() - t_io
+            groups = [[path] for path in merged]
+            partition_bytes = sum(os.path.getsize(path) for path in merged)
+        t1 = time.perf_counter()
+
+        # ---- Step 2: one shared table per non-empty partition -------------
+        live = [
+            part for part in range(cfg.n_partitions)
+            if kmers_per_partition[part] > 0
+        ]
+        segments = {}
+        payload_lists: list[list[dict]] = []
+        subgraphs: list[DeBruijnGraph] = []
+        stats = HashStats()
+        try:
+            jobs: list[_Step2Job] = []
+            for part in live:
+                capacity = next_power_of_two(max(2, cfg.sizing.capacity_for(
+                    max(1, int(kmers_per_partition[part]))
+                )))
+                seg = create_table_segment(capacity, cfg.k)
+                segments[part] = seg
+                jobs.append(_Step2Job(
+                    partition=part, k=cfg.k, table_spec=seg.spec,
+                    group=tuple(str(p) for p in groups[part]),
+                ))
+            if jobs:
+                step2_workers = max(1, min(n_workers, len(jobs)))
+                tickets2 = ProcessTicketQueue(len(jobs), ctx)
+                payload_lists = run_workers(
+                    _step2_worker, step2_workers, ctx=ctx,
+                    args=(jobs, tickets2, weights, cfg.sizing),
+                )
+            by_partition = {
+                payload["partition"]: payload
+                for payloads in payload_lists for payload in payloads
+            }
+            for part in live:
+                payload = by_partition[part]
+                stats = stats.merged_with(payload["stats"])
+                if payload["fallback"] is not None:
+                    subgraphs.append(payload["fallback"])
+                    continue
+                seg = segments[part]
+                table = table_over_segment(seg, cfg.k, fresh=False)
+                table.n_occupied = int(seg["header"][HEADER_N_OCCUPIED])
+                subgraphs.append(table.to_graph())
+                table.detach_views()
+        finally:
+            for seg in segments.values():
+                seg.unlink()
+        t2 = time.perf_counter()
+
+        if output_dir is not None and subgraphs:
+            from ..graph.serialize import save_subgraphs
+
+            t_io = time.perf_counter()
+            save_subgraphs(output_dir, subgraphs)
+            io_seconds += time.perf_counter() - t_io
+
+        nonempty = [g for g in subgraphs if g.n_vertices]
+        graph = merge_disjoint(nonempty) if nonempty else empty_graph(cfg.k)
+        return ParaHashResult(
+            graph=graph,
+            subgraphs=subgraphs,
+            hash_stats=stats,
+            timings=StageTimings(
+                msp_seconds=(t1 - t0) - io_seconds,
+                hashing_seconds=t2 - t1,
+                io_seconds=io_seconds,
+            ),
+            n_superkmers=n_superkmers,
+            n_kmers=int(kmers_per_partition.sum()),
+            partition_bytes=partition_bytes,
+            config=cfg,
+            worker_records=_worker_records(reports, payload_lists),
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def _worker_records(step1_reports: list[dict],
+                    step2_payloads: list[list[dict]]) -> dict[str, WorkerRecord]:
+    """Fold both steps' reports into §III-E-style worker records."""
+    records: dict[str, WorkerRecord] = {}
+    for w, report in enumerate(step1_reports):
+        records[f"proc{w}"] = WorkerRecord(
+            name=f"proc{w}",
+            partitions=[],
+            items_processed=report["n_reads"],
+        )
+    for w, payloads in enumerate(step2_payloads):
+        record = records.setdefault(f"proc{w}", WorkerRecord(name=f"proc{w}"))
+        for payload in payloads:
+            record.partitions.append(payload["partition"])
+            record.items_processed += payload["n_kmers"]
+    return records
+
+
+# -- cross-process CAS validation path -------------------------------------------
+
+
+def concurrent_insert_processes(
+    kmers: np.ndarray,
+    slots: np.ndarray,
+    k: int,
+    capacity: int,
+    n_workers: int,
+    n_stripes: int = 64,
+) -> tuple[DeBruijnGraph, list[HashStats]]:
+    """Insert observations into ONE table from several processes.
+
+    This is the state-transfer protocol on genuinely concurrent memory:
+    every worker runs CAS EMPTY→LOCKED / write-key / publish-OCCUPIED
+    against the same shared-memory occupancy plane.  Returns the
+    resulting subgraph and the per-worker stats.  Used by the
+    equivalence tests (the outcome must match a serial
+    ``insert_batch``); the production pipeline instead gives each
+    partition to exactly one process, as the paper does per subgraph.
+    """
+    kmers = np.ascontiguousarray(kmers, dtype=np.uint64).ravel()
+    slots = np.ascontiguousarray(slots, dtype=np.int64).ravel()
+    if kmers.shape != slots.shape:
+        raise ValueError("kmers and slots must be parallel arrays")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    ctx = default_context()
+    cap = next_power_of_two(max(2, capacity))
+    table_seg = create_table_segment(cap, k)
+    flags_seg = create_segment([("flags", (cap,), "int64")])
+    state_locks = create_lock_bundle(ctx, n_stripes)
+    count_locks = create_lock_bundle(ctx, n_stripes)
+    bounds = np.linspace(0, kmers.size, n_workers + 1).astype(int).tolist()
+    try:
+        stats = run_workers(
+            _cas_worker, n_workers, ctx=ctx,
+            args=(table_seg.spec, flags_seg.spec, state_locks, count_locks,
+                  kmers, slots, bounds, k),
+        )
+        # Publish the final flags into the table's int8 mirror, then
+        # read the graph straight out of shared memory.
+        table_seg["state"][:] = flags_seg["flags"].astype(np.int8)
+        table = table_over_segment(table_seg, k, fresh=False)
+        graph = table.to_graph()
+        table.detach_views()
+        return graph, stats
+    finally:
+        table_seg.unlink()
+        flags_seg.unlink()
+
+
+def _cas_worker(worker_id: int, table_spec: SegmentSpec,
+                flags_spec: SegmentSpec, state_locks, count_locks,
+                kmers: np.ndarray, slots: np.ndarray,
+                bounds: list[int], k: int) -> HashStats:
+    """One process of the cross-process state-machine run."""
+    seg = attach_segment(table_spec)
+    flags_seg = attach_segment(flags_spec)
+    table = table_over_segment(seg, k, fresh=True)
+    # Swap the thread-path machinery for its cross-process twins: the
+    # occupancy flags live in the shared int64 plane and every stripe
+    # lock is a multiprocessing lock, so the CAS window and the counter
+    # updates are mutually exclusive across processes.
+    table._atomic_state = ProcessAtomicInt64Array(flags_seg["flags"],
+                                                  state_locks)
+    table._count_locks = list(count_locks)
+    local = HashStats()
+    try:
+        for i in range(bounds[worker_id], bounds[worker_id + 1]):
+            table.insert_one_threadsafe(int(kmers[i]), int(slots[i]), local)
+    finally:
+        table.detach_views()
+        seg.close()
+        flags_seg.close()
+    return local

@@ -1,0 +1,147 @@
+"""A small crash-safe process fan-out.
+
+``concurrent.futures`` is deliberately not used: the backend's workers
+claim their own work from a shared ticket counter (work stealing), so
+the pool's only jobs are (1) start one process per worker, (2) collect
+one result message per worker, and (3) **never hang** — a worker that
+dies without reporting (segfault, ``os._exit``, OOM kill) must surface
+as a clean :class:`WorkerCrashed` error, with the remaining workers
+terminated, instead of a parent blocked on a queue forever.
+
+Workers send ``("ok", worker_id, payload)`` or ``("error", worker_id,
+traceback_text)`` through a queue; the parent polls the queue with a
+short timeout and watches process liveness between polls.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import traceback
+from typing import Any, Callable
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process exited without reporting a result."""
+
+
+class WorkerFailed(RuntimeError):
+    """A worker process raised; carries the worker's traceback text."""
+
+
+def default_context() -> mp.context.BaseContext:
+    """The start method the backend uses.
+
+    ``fork`` when the platform offers it (cheap on Linux, and lock
+    bundles / numpy state inherit for free), else the platform default
+    (``spawn`` on macOS/Windows — every worker entry point in this
+    package is a top-level picklable function for exactly that case).
+    """
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platform
+        return mp.get_context()
+
+
+def _worker_shell(fn: Callable, args: tuple, out: mp.queues.Queue,
+                  worker_id: int) -> None:
+    try:
+        payload = fn(worker_id, *args)
+        out.put(("ok", worker_id, payload))
+    except BaseException:
+        out.put(("error", worker_id, traceback.format_exc()))
+
+
+def run_workers(
+    fn: Callable,
+    n_workers: int,
+    args: tuple = (),
+    ctx: mp.context.BaseContext | None = None,
+    poll_seconds: float = 0.25,
+    timeout: float | None = 600.0,
+) -> list[Any]:
+    """Run ``fn(worker_id, *args)`` in ``n_workers`` processes.
+
+    Returns the workers' payloads indexed by worker id.  Raises
+    :class:`WorkerFailed` when any worker raised (all others are joined
+    first so shared resources quiesce) and :class:`WorkerCrashed` when a
+    worker vanished without a result; in both cases surviving workers
+    are terminated before the error propagates, so the caller can
+    release shared segments safely.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    ctx = ctx or default_context()
+    out: mp.queues.Queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_worker_shell, args=(fn, args, out, w),
+                    name=f"repro-worker-{w}", daemon=True)
+        for w in range(n_workers)
+    ]
+    for p in procs:
+        p.start()
+    results: list[Any] = [None] * n_workers
+    reported = [False] * n_workers
+    failure: tuple[str, int, str] | None = None
+    waited = 0.0
+    try:
+        while not all(reported):
+            try:
+                kind, worker_id, payload = out.get(timeout=poll_seconds)
+            except queue_mod.Empty:
+                waited += poll_seconds
+                if timeout is not None and waited > timeout:
+                    raise WorkerCrashed(
+                        f"workers {_pending(reported)} produced no result "
+                        f"within {timeout:.0f}s"
+                    )
+                dead = [
+                    w for w, p in enumerate(procs)
+                    if not reported[w] and not p.is_alive()
+                ]
+                # A dead worker may still have a message in flight;
+                # drain once more before declaring the crash.
+                if dead and _queue_idle(out):
+                    codes = {w: procs[w].exitcode for w in dead}
+                    raise WorkerCrashed(
+                        f"worker(s) died without reporting a result "
+                        f"(exit codes {codes}); inputs may be partially "
+                        f"processed"
+                    )
+                continue
+            reported[worker_id] = True
+            if kind == "ok":
+                results[worker_id] = payload
+            elif failure is None:
+                failure = (kind, worker_id, payload)
+        if failure is not None:
+            _, worker_id, tb = failure
+            raise WorkerFailed(
+                f"worker {worker_id} raised:\n{tb.rstrip()}"
+            )
+        return results
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=10.0)
+        out.close()
+
+
+def _pending(reported: list[bool]) -> list[int]:
+    return [w for w, done in enumerate(reported) if not done]
+
+
+def _queue_idle(out: mp.queues.Queue) -> bool:
+    """True when one final grace poll finds the result queue empty."""
+    try:
+        # Peek is impossible on mp queues; a short blocking get that
+        # times out is the reliable emptiness test.  A message arriving
+        # here is pushed back via the internal buffer-free path by
+        # returning False and letting the main loop re-poll.
+        item = out.get(timeout=0.5)
+    except queue_mod.Empty:
+        return True
+    out.put(item)
+    return False

@@ -1,0 +1,169 @@
+"""Process-backend tests: backend equivalence, crash safety, shared CAS.
+
+The contract under test is the PR's acceptance criterion: the
+``processes`` backend must produce graphs bit-identical to the
+``serial`` backend, and a worker that dies mid-build must surface as a
+clean error instead of hanging the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import BACKENDS, ParaHashConfig
+from repro.core.hashtable import ConcurrentHashTable
+from repro.core.parahash import ParaHash
+from repro.dna.kmer import canonical_u64, kmers_from_reads
+from repro.graph.dbg import N_SLOTS
+from repro.parallel import (
+    WorkerCrashed,
+    WorkerFailed,
+    concurrent_insert_processes,
+    run_workers,
+)
+
+CFG = ParaHashConfig(k=21, p=9, n_partitions=16, n_input_pieces=4)
+
+
+def assert_graphs_identical(a, b):
+    assert a.k == b.k
+    assert np.array_equal(a.vertices, b.vertices)
+    assert np.array_equal(a.counts, b.counts)
+
+
+# -- backend equivalence ----------------------------------------------------------
+
+
+def test_all_backends_build_identical_graphs(genomic_batch):
+    serial = ParaHash(CFG).build_graph(genomic_batch)
+    threaded = ParaHash(
+        CFG.with_(backend="threads", n_workers=2)
+    ).build_graph(genomic_batch)
+    procs = ParaHash(
+        CFG.with_(backend="processes", n_workers=2)
+    ).build_graph(genomic_batch)
+    assert serial.graph.n_vertices > 0
+    assert_graphs_identical(serial.graph, threaded.graph)
+    assert_graphs_identical(serial.graph, procs.graph)
+
+
+def test_process_backend_worker_counts_agree(clean_batch):
+    serial = ParaHash(CFG).build_graph(clean_batch)
+    for w in (1, 3):
+        result = ParaHash(
+            CFG.with_(backend="processes", n_workers=w)
+        ).build_graph(clean_batch)
+        assert_graphs_identical(serial.graph, result.graph)
+
+
+def test_process_backend_disk_artifacts_match_serial(clean_batch, tmp_path):
+    """workdir spill files + output_dir subgraphs are byte-identical."""
+    outs = {}
+    for backend in ("serial", "processes"):
+        work = tmp_path / backend / "work"
+        out = tmp_path / backend / "out"
+        cfg = CFG if backend == "serial" else CFG.with_(
+            backend="processes", n_workers=2
+        )
+        result = ParaHash(cfg).build_graph(
+            clean_batch, workdir=work, output_dir=out
+        )
+        outs[backend] = (result, out)
+    serial_result, serial_out = outs["serial"]
+    procs_result, procs_out = outs["processes"]
+    assert_graphs_identical(serial_result.graph, procs_result.graph)
+    serial_files = sorted(p.name for p in serial_out.iterdir())
+    assert serial_files == sorted(p.name for p in procs_out.iterdir())
+    assert serial_files  # the run actually wrote subgraphs
+    for name in serial_files:
+        assert (serial_out / name).read_bytes() == (
+            procs_out / name
+        ).read_bytes()
+
+
+def test_process_backend_reports_per_worker_records(genomic_batch):
+    result = ParaHash(
+        CFG.with_(backend="processes", n_workers=2)
+    ).build_graph(genomic_batch)
+    records = result.worker_records
+    assert set(records) == {"proc0", "proc1"}
+    assert sum(len(r.partitions) for r in records.values()) > 0
+    assert all(r.items_processed > 0 for r in records.values())
+
+
+# -- crash containment ------------------------------------------------------------
+
+
+def _vanishing_worker(worker_id: int, victim: int):
+    if worker_id == victim:
+        os._exit(17)  # simulate a segfault / OOM kill: no result, no traceback
+    time.sleep(0.05)
+    return worker_id
+
+
+def _raising_worker(worker_id: int, victim: int):
+    if worker_id == victim:
+        raise RuntimeError(f"worker {worker_id} exploded on purpose")
+    time.sleep(0.05)
+    return worker_id
+
+
+def test_crashed_worker_surfaces_without_hanging():
+    t0 = time.perf_counter()
+    with pytest.raises(WorkerCrashed):
+        run_workers(_vanishing_worker, 3, args=(1,), timeout=30.0)
+    # The whole point: a vanished worker must not block until timeout.
+    assert time.perf_counter() - t0 < 20.0
+
+
+def test_raising_worker_carries_traceback():
+    with pytest.raises(WorkerFailed) as excinfo:
+        run_workers(_raising_worker, 3, args=(2,), timeout=30.0)
+    assert "exploded on purpose" in str(excinfo.value)
+
+
+def test_run_workers_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        run_workers(_raising_worker, 0)
+
+
+# -- cross-process state-transfer protocol ----------------------------------------
+
+
+def test_cross_process_cas_matches_serial_insert(genomic_batch, rng):
+    k = 21
+    kmers = canonical_u64(kmers_from_reads(genomic_batch.codes, k), k)
+    slots = rng.integers(0, N_SLOTS, size=kmers.size, dtype=np.int64)
+    capacity = 1 << 14
+
+    serial = ConcurrentHashTable(capacity=capacity, k=k)
+    serial.insert_batch(kmers, slots)
+    expected = serial.to_graph()
+
+    graph, stats = concurrent_insert_processes(
+        kmers, slots, k, capacity, n_workers=3
+    )
+    assert_graphs_identical(expected, graph)
+    assert len(stats) == 3
+    assert sum(s.ops for s in stats) == kmers.size
+
+
+# -- configuration plumbing -------------------------------------------------------
+
+
+def test_config_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        ParaHashConfig(k=21, p=9, backend="gpu")
+    with pytest.raises(ValueError):
+        ParaHashConfig(k=21, p=9, n_workers=-1)
+
+
+def test_config_worker_resolution():
+    assert "processes" in BACKENDS
+    assert ParaHashConfig(k=21, p=9, n_workers=6).workers() == 6
+    auto = ParaHashConfig(k=21, p=9).workers()
+    assert auto == max(1, os.cpu_count() or 1)
