@@ -159,16 +159,35 @@ def merge_bigk_disjoint(subgraphs: list[BigDeBruijnGraph]) -> BigDeBruijnGraph:
 
 def build_debruijn_graph_bigk(
     reads: ReadBatch, k: int, p: int = 15, n_partitions: int = 16,
-    policy: SizingPolicy | None = None,
+    policy: SizingPolicy | None = None, n_threads: int = 1,
 ) -> BigDeBruijnGraph:
-    """Full big-K pipeline: MSP partitioning + two-word hashing + merge."""
+    """Full big-K pipeline: MSP partitioning + two-word hashing + merge.
+
+    ``n_threads > 1`` co-processes the partition blocks through the
+    §III-E work-stealing queue (the ``threads`` backend's big-k path);
+    the merged graph is identical to the sequential run.
+    """
     check_2w_k(k)
     if not 1 <= p <= 31:
         raise ValueError("minimizer length p must be in [1, 31]")
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
     result = partition_reads(reads, k, p, n_partitions)
-    subgraphs = [
-        build_subgraph_2w(block, policy=policy).graph
-        for block in result.blocks
-        if block.n_superkmers
-    ]
+    nonempty = [block for block in result.blocks if block.n_superkmers]
+    if n_threads > 1 and len(nonempty) > 1:
+        from ..concurrentsub.workqueue import run_coprocessed
+
+        workers = {
+            f"cpu{t}": (lambda block: build_subgraph_2w(block,
+                                                        policy=policy).graph)
+            for t in range(n_threads)
+        }
+        subgraphs, _ = run_coprocessed(
+            nonempty, workers, size_of=lambda b: b.total_kmers()
+        )
+    else:
+        subgraphs = [
+            build_subgraph_2w(block, policy=policy).graph
+            for block in nonempty
+        ]
     return merge_bigk_disjoint(subgraphs)

@@ -58,6 +58,7 @@ recorded; scalar query paths stay recorded and clean.
 
 from __future__ import annotations
 
+import itertools
 import sys
 import threading
 import traceback
@@ -68,6 +69,28 @@ VIRGIN = "virgin"
 EXCLUSIVE = "exclusive"
 SHARED = "shared"
 SHARED_MODIFIED = "shared-modified"
+
+_uid_counter = itertools.count(1)
+_thread_uid = threading.local()
+
+
+def _monitor_thread_id() -> int:
+    """A never-reused id for the calling thread.
+
+    ``threading.get_ident()`` values are recycled the moment a thread
+    exits; on a loaded box a reader thread regularly inherits the ident
+    of a writer that already finished.  Keyed on the raw ident, the
+    monitor would classify that reader's accesses as *same-thread*
+    (EXCLUSIVE never breaks) and hand it the dead writer's leftover
+    lockset — both silent false negatives.  A monotonically increasing
+    id cached in ``threading.local`` cannot be reused.
+    """
+    try:
+        return _thread_uid.value
+    except AttributeError:
+        uid = next(_uid_counter)
+        _thread_uid.value = uid
+        return uid
 
 #: Frames from these path fragments are skipped when attributing an
 #: access to a source site (they are the plumbing, not the subject).
@@ -203,12 +226,12 @@ class LocksetMonitor(Monitor):
     # -- lock tracking -------------------------------------------------------
 
     def lock_acquired(self, lock_id) -> None:
-        tid = threading.get_ident()
+        tid = _monitor_thread_id()
         with self._mu:
             self._locksets.setdefault(tid, set()).add(lock_id)
 
     def lock_released(self, lock_id) -> None:
-        tid = threading.get_ident()
+        tid = _monitor_thread_id()
         with self._mu:
             held = self._locksets.get(tid)
             if held is not None:
@@ -216,14 +239,14 @@ class LocksetMonitor(Monitor):
 
     def locks_held(self) -> frozenset:
         """The calling thread's current lockset (diagnostics/tests)."""
-        tid = threading.get_ident()
+        tid = _monitor_thread_id()
         with self._mu:
             return frozenset(self._locksets.get(tid, ()))
 
     # -- the lockset algorithm ----------------------------------------------
 
     def record(self, label: str, owner: int, index: int, kind: str) -> None:
-        tid = threading.get_ident()
+        tid = _monitor_thread_id()
         tname = threading.current_thread().name
         site = _caller_site()
         with self._mu:

@@ -426,8 +426,16 @@ def stress_shared_path(table: ConcurrentHashTable, n_distinct: int = 64,
             errors.append(exc)
 
     def read() -> None:
+        # At least one full pass even if this thread is only scheduled
+        # after the writers finished: the lockset state machine is
+        # synchronization-order based, not wall-clock based, so a read
+        # that follows the seeded unsynchronized publish still records
+        # the race — without this, a starved reader on a loaded
+        # single-core box exits having traced nothing.
         try:
-            while not done.is_set():
+            first = True
+            while first or not done.is_set():
+                first = False
                 for key in keys[:8]:
                     table.lookup(int(key))
         except BaseException as exc:  # pragma: no cover - diagnostics

@@ -69,6 +69,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = all cores)")
     p.add_argument("--workdir",
                    help="directory for encoded partition files (disk-backed run)")
+    p.add_argument("--pipeline", dest="pipeline", action="store_true",
+                   default=True,
+                   help="stream Step 2 while Step 1 runs "
+                        "(processes backend; default)")
+    p.add_argument("--no-pipeline", dest="pipeline", action="store_false",
+                   help="barrier between the steps (processes backend)")
+    p.add_argument("--preaggregate", dest="preaggregate",
+                   action="store_true", default=True,
+                   help="collapse duplicate observations into counted "
+                        "inserts before hashing (default)")
+    p.add_argument("--no-preaggregate", dest="preaggregate",
+                   action="store_false",
+                   help="insert every observation individually")
+    p.add_argument("--calibrate", action="store_true",
+                   help="measure this host's kernel rates and size claim "
+                        "weights from the fitted device model "
+                        "(processes backend)")
     p.add_argument("--output", required=True, help="graph file (.phdbg)")
     p.add_argument("--tsv", help="also export adjacency lists as TSV")
     p.add_argument("--min-multiplicity", type=int, default=1,
@@ -157,17 +174,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
+    # Argument validation comes BEFORE the reads are loaded: a k > 31
+    # run on an unsupported backend must fail fast, not after minutes
+    # of input parsing.
+    if args.k > 31 and args.backend == "processes":
+        print(f"error: --backend processes supports only k <= 31 "
+              f"(one-word packed kmers); for k = {args.k} use the "
+              "two-word big-k path: --backend serial or "
+              "--backend threads",
+              file=sys.stderr)
+        return 2
     reads = load_read_batch(args.input)
     if args.k > 31:
-        if args.backend != "serial":
-            print(f"error: --backend {args.backend} is only supported "
-                  "for k <= 31",
-                  file=sys.stderr)
-            return 2
         return _build_bigk(args, reads)
     config = ParaHashConfig(
         k=args.k, p=args.p, n_partitions=args.partitions,
         n_threads=args.threads, backend=args.backend, n_workers=args.workers,
+        pipeline=args.pipeline, preaggregate=args.preaggregate,
+        calibrate=args.calibrate,
     )
     result = ParaHash(config).build_graph(
         reads, workdir=Path(args.workdir) if args.workdir else None
@@ -201,8 +225,14 @@ def _build_bigk(args: argparse.Namespace, reads) -> int:
         print("error: --tsv export is only supported for k <= 31",
               file=sys.stderr)
         return 2
+    n_threads = 1
+    if args.backend == "threads":
+        import os
+
+        n_threads = args.workers or (os.cpu_count() or 1)
     graph = build_debruijn_graph_bigk(
-        reads, args.k, p=min(args.p, 31), n_partitions=args.partitions
+        reads, args.k, p=min(args.p, 31), n_partitions=args.partitions,
+        n_threads=max(n_threads, args.threads),
     )
     n_bytes = save_big_graph(args.output, graph)
     print(f"{graph.n_vertices:,} vertices (two-word keys, k={args.k}) "

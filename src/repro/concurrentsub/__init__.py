@@ -5,6 +5,8 @@ from .hashfunc import hash_words, mix64, mix64_int, partition_ids, table_slots
 from .workqueue import (
     InputQueue,
     OutputQueue,
+    ProcessTicketQueue,
+    ProcessWorkQueue,
     QueueClosed,
     WorkerRecord,
     run_coprocessed,
@@ -14,6 +16,8 @@ __all__ = [
     "AtomicInt64Array",
     "InputQueue",
     "OutputQueue",
+    "ProcessTicketQueue",
+    "ProcessWorkQueue",
     "QueueClosed",
     "SharedCounter",
     "WorkerRecord",

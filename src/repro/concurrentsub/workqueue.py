@@ -23,7 +23,9 @@ distribution study.
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as queue_mod
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -263,3 +265,151 @@ class ProcessTicketQueue:
         """Tickets handed out so far (for progress reporting)."""
         with self._cns.get_lock():
             return min(self.n_items, int(self._cns.value))
+
+
+# -- cross-process publish/claim (the pipelined srv/cns protocol) -----------------
+
+_WQ_OPEN = 0
+_WQ_CLOSED = 1
+_WQ_ABORTED = 2
+
+
+class ProcessWorkQueue:
+    """Bounded cross-process publish/claim queue — the srv/cns protocol
+    with a *live producer*.
+
+    This generalizes :class:`ProcessTicketQueue`: where the ticket queue
+    dispenses ids for a work list fully known at construction, this
+    queue lets the parent **publish** work items while consumer
+    processes are already claiming — the handoff that makes the
+    Step-1→Step-2 pipeline of :mod:`repro.parallel.backend` stream
+    instead of barrier.  ``ProcessTicketQueue`` is the degenerate case
+    where every index is published up front, kept as the cheaper
+    counter-only fast path.
+
+    Protocol (mirrors :class:`InputQueue` across processes):
+
+    * ``publish(item)`` — producer side; advances ``srv`` after the item
+      is enqueued, so a claim never reserves an item that has not been
+      handed to the transport yet.
+    * ``claim(weight)`` — consumer side; atomically reserves up to
+      ``weight`` published-but-unclaimed items (the weighted ``cns``
+      fetch-add) and returns them.  Blocks while the queue is open and
+      empty; returns ``[]`` once the queue is closed and drained.
+    * ``close()`` — no more publishes; blocked claimers drain and exit.
+    * ``abort()`` — poison the queue: every pending and future claim
+      returns ``[]`` immediately.  The crash-containment hatch — a
+      parent whose merger fails (or that is tearing down after a worker
+      crash) aborts so no consumer is ever left waiting on a queue
+      nobody will fill.
+
+    The queue is **bounded**: ``capacity`` is the most items that may
+    ever be published (they are addressable work units, not an
+    unbounded stream), which keeps the shared counters meaningful and
+    turns producer bugs into an immediate ``IndexError`` instead of an
+    unbounded pile-up.
+
+    **No condition variables — by design.**  Empty-queue claimers use a
+    short timed-sleep poll under a plain lock instead of
+    ``multiprocessing.Condition.wait``.  A ``Condition`` keeps a
+    sleeper count in shared semaphores; a consumer *terminated* while
+    blocked in ``wait`` leaves that count incremented forever, after
+    which any ``notify`` blocks waiting for the dead sleeper to
+    acknowledge — so a crash-containment path that kills workers (as
+    :func:`repro.parallel.pool.run_workers` does on failure) would
+    deadlock the parent's own ``abort``/``publish``.  With polling, a
+    killed consumer is simply gone: the lock is only ever held for a
+    few straight-line statements, never across a blocking wait, so
+    every other participant keeps making progress.
+    """
+
+    #: Seconds between availability polls while the queue is empty.
+    POLL_SECONDS = 0.02
+
+    def __init__(self, capacity: int,
+                 ctx: mp.context.BaseContext | None = None,
+                 claim_timeout: float = 120.0) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        ctx = ctx or mp.get_context()
+        self.capacity = capacity
+        self.claim_timeout = claim_timeout
+        self._lock = ctx.Lock()
+        self._srv = ctx.Value("q", 0, lock=False)
+        self._cns = ctx.Value("q", 0, lock=False)
+        self._state = ctx.Value("b", _WQ_OPEN, lock=False)
+        self._items = ctx.Queue()
+
+    def publish(self, item) -> int:
+        """Enqueue one item and advance ``srv``; returns its index."""
+        with self._lock:
+            if self._state.value != _WQ_OPEN:
+                raise QueueClosed("publish on a closed or aborted queue")
+            index = int(self._srv.value)
+            if index >= self.capacity:
+                raise IndexError(
+                    f"publish beyond declared capacity {self.capacity}"
+                )
+            self._items.put(item)
+            self._srv.value = index + 1
+        return index
+
+    def close(self) -> None:
+        """Producer is done; drained claimers get ``[]`` from now on."""
+        with self._lock:
+            if self._state.value == _WQ_OPEN:
+                self._state.value = _WQ_CLOSED
+
+    def abort(self) -> None:
+        """Poison the queue: all claims return ``[]`` immediately."""
+        with self._lock:
+            self._state.value = _WQ_ABORTED
+
+    def published(self) -> int:
+        """Items published so far."""
+        with self._lock:
+            return int(self._srv.value)
+
+    def claim(self, weight: int = 1, timeout: float | None = None) -> list:
+        """Reserve and return up to ``weight`` items (``[]`` = no more).
+
+        Blocks (polling) while the queue is open but empty.  ``timeout``
+        bounds the total wait (default: the queue's ``claim_timeout``);
+        a claimer that outlives it raises :class:`QueueClosed` rather
+        than hanging on a producer that died without closing.
+        """
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        timeout = self.claim_timeout if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        take = 0
+        while True:
+            with self._lock:
+                state = int(self._state.value)
+                if state == _WQ_ABORTED:
+                    return []
+                avail = int(self._srv.value) - int(self._cns.value)
+                if avail > 0:
+                    take = min(weight, avail)
+                    self._cns.value += take
+                    break
+                if state == _WQ_CLOSED:
+                    return []
+            if time.monotonic() >= deadline:
+                raise QueueClosed(
+                    f"no publish within {timeout:.0f}s on an open "
+                    "queue (producer gone?)"
+                )
+            time.sleep(self.POLL_SECONDS)
+        # The reserved count never exceeds completed puts (puts happen
+        # under the lock *before* srv advances), so these gets cannot
+        # starve; the timeout guards against a torn-down queue.
+        out = []
+        for _ in range(take):
+            try:
+                out.append(self._items.get(timeout=max(1.0, timeout)))
+            except queue_mod.Empty:
+                raise QueueClosed(
+                    "reserved item never arrived (queue torn down?)"
+                ) from None
+        return out

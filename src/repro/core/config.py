@@ -48,6 +48,19 @@ class ParaHashConfig:
     n_workers:
         Worker count for the ``threads``/``processes`` backends;
         0 means auto (the machine's CPU count).
+    pipeline:
+        ``processes`` backend only: stream Step-2 partition claims
+        through the cross-process ready queue while Step 1 is still
+        partitioning (§III-E overlap), instead of barriering between
+        the steps.
+    preaggregate:
+        Collapse duplicate ``(vertex, slot)`` observations into counted
+        inserts before touching a hash table (one probe walk per
+        distinct pair; stats stay protocol-equivalent).
+    calibrate:
+        ``processes`` backend only: run a short warm-up measurement
+        pass, fit the :mod:`repro.hetsim.device` model to this host,
+        and size per-worker chunk/partition claim weights from it.
     """
 
     k: int = 27
@@ -58,6 +71,9 @@ class ParaHashConfig:
     n_threads: int = 1
     backend: str = "serial"
     n_workers: int = 0
+    pipeline: bool = True
+    preaggregate: bool = True
+    calibrate: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1:

@@ -266,6 +266,7 @@ class ConcurrentHashTable:
     # -- vectorized single-threaded path ---------------------------------------
 
     def insert_batch(self, kmers: np.ndarray, slots: np.ndarray,
+                     counts: np.ndarray | None = None,
                      chunk: int = 1 << 20) -> None:
         """Apply ``(kmer, counter-slot)`` observations, vectorized.
 
@@ -275,6 +276,18 @@ class ConcurrentHashTable:
         the protocol had run (one key lock per insertion, one atomic
         increment per observation).
 
+        With ``counts`` given (the pre-aggregation path of
+        :func:`repro.core.subgraph.preaggregate_observations`), each
+        ``(kmer, slot)`` pair carries a multiplicity: the counter is
+        bumped by ``counts[i]`` in one touch, while the stats are
+        metered for the ``counts[i]`` individual observations the
+        un-aggregated concurrent protocol would have executed — one op
+        and one atomic increment per observation, one key lock per
+        *distinct* vertex, every duplicate beyond the inserting one an
+        update.  ``HashStats.lock_reduction`` is therefore unchanged by
+        aggregation; what the table actually pays shrinks to one probe
+        walk and one counter write per distinct pair.
+
         Single-threaded only: this path writes the numpy mirror
         directly and must never overlap :meth:`insert_threaded`.
         """
@@ -282,18 +295,29 @@ class ConcurrentHashTable:
         slots = np.ascontiguousarray(slots, dtype=np.int64).ravel()
         if kmers.shape != slots.shape:
             raise ValueError("kmers and slots must be parallel arrays")
+        if counts is not None:
+            counts = np.ascontiguousarray(counts, dtype=np.int64).ravel()
+            if counts.shape != kmers.shape:
+                raise ValueError("counts must parallel kmers and slots")
+            if counts.size and int(counts.min()) < 1:
+                raise ValueError("every aggregated count must be >= 1")
         for lo in range(0, kmers.size, chunk):
-            self._insert_chunk(kmers[lo : lo + chunk], slots[lo : lo + chunk])
+            self._insert_chunk(
+                kmers[lo : lo + chunk], slots[lo : lo + chunk],
+                None if counts is None else counts[lo : lo + chunk],
+            )
         if self._atomic_state is not None:
             # Keep the authoritative threaded-mode flags in sync when a
             # quiescent table mixes batch and threaded insertions.
             self._atomic_state.raw()[:] = self.state  # checks: allow[R3] single-threaded resync
 
-    def _insert_chunk(self, kmers: np.ndarray, slots: np.ndarray) -> None:
+    def _insert_chunk(self, kmers: np.ndarray, slots: np.ndarray,
+                      weights: np.ndarray | None = None) -> None:
         stats = self.stats
         n = kmers.size
-        stats.ops += n
-        stats.count_increments += n
+        n_ops = n if weights is None else int(weights.sum())
+        stats.ops += n_ops
+        stats.count_increments += n_ops
         home = mix64(kmers) & self._mask
         pending = np.arange(n, dtype=np.int64)
         offset = np.zeros(n, dtype=np.uint64)
@@ -313,8 +337,13 @@ class ConcurrentHashTable:
             if match.any():
                 rows = pos[match].astype(np.int64)
                 cols = slots[pending[match]]
-                np.add.at(self.counts, (rows, cols), 1)
-                stats.updates += int(match.sum())
+                if weights is None:
+                    np.add.at(self.counts, (rows, cols), 1)
+                    stats.updates += int(match.sum())
+                else:
+                    w = weights[pending[match]]
+                    np.add.at(self.counts, (rows, cols), w)
+                    stats.updates += int(w.sum())
             mismatch = is_occ & ~match
             empty = st == EMPTY
             # Claim empty slots: the first pending op targeting each
@@ -329,16 +358,31 @@ class ConcurrentHashTable:
                 wops = pending[win_idx]
                 self.state[wpos] = OCCUPIED
                 self.keys[wpos] = kmers[wops]
-                np.add.at(self.counts, (wpos, slots[wops]), 1)
+                if weights is None:
+                    np.add.at(self.counts, (wpos, slots[wops]), 1)
+                    lost = int(empty.sum()) - wpos.size
+                else:
+                    w = weights[wops]
+                    np.add.at(self.counts, (wpos, slots[wops]), w)
+                    # Un-aggregated, the duplicates behind each winning
+                    # pair lose the CAS once and then update; pairs that
+                    # lost to a different key lose once per observation.
+                    stats.updates += int(w.sum()) - wpos.size
+                    lost = int(w.sum()) - wpos.size
+                    losers = empty & ~winners
+                    if losers.any():
+                        lost += int(weights[pending[losers]].sum())
                 self.n_occupied += wpos.size
                 stats.inserts += wpos.size
                 stats.key_locks += wpos.size
-                lost = int(empty.sum()) - wpos.size
                 stats.cas_failures += lost
             # Advance mismatches; retry CAS losers at the same offset
             # (they will match or mismatch the freshly written key).
             advance = mismatch
-            stats.probes += int(advance.sum())
+            if weights is None:
+                stats.probes += int(advance.sum())
+            else:
+                stats.probes += int(weights[pending[advance]].sum())
             keep = (~match) & (~winners)
             offset_add = advance[keep].astype(np.uint64)
             pending = pending[keep]

@@ -127,7 +127,8 @@ class ParaHash:
         nonempty = [b for b in blocks if b.n_superkmers]
 
         def process(block: SuperkmerBlock) -> SubgraphResult:
-            return build_subgraph(block, policy=cfg.sizing, n_threads=1)
+            return build_subgraph(block, policy=cfg.sizing, n_threads=1,
+                                  preaggregate=cfg.preaggregate)
 
         if cfg.n_threads == 1 or len(nonempty) <= 1:
             return [process(b) for b in nonempty], {}

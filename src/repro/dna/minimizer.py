@@ -48,6 +48,10 @@ def sliding_min(values: np.ndarray, window: int) -> np.ndarray:
     m = values.shape[-1]
     if not 1 <= window <= m:
         raise ValueError(f"window must be in [1, {m}], got {window}")
+    if window == 1:
+        # Wider windows return freshly allocated arrays; the degenerate
+        # window must not hand back an aliased view of the input.
+        return values.copy()
     out = values
     covered = 1
     while covered < window:

@@ -25,7 +25,8 @@ than absolute hardware speeds:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 
 from ..core.hashtable import HashStats
 
@@ -216,3 +217,120 @@ def default_cpu(n_threads: int = 20) -> CpuDevice:
 def default_gpu(index: int = 0) -> GpuDevice:
     """One Tesla K40m-class device."""
     return GpuDevice(name=f"gpu{index}")
+
+
+# -- host calibration -------------------------------------------------------
+#
+# The simulated devices above carry the *paper's* ratios; the process
+# backend additionally wants rates for the machine it actually runs on,
+# so its dispatch weights reflect real kernel throughput.  A short
+# warm-up pass runs the real MSP and hashing kernels on a read sample
+# and fits the device model to the measured rates.
+
+
+@dataclass(frozen=True)
+class HostCalibration:
+    """Single-thread kernel rates measured on this host."""
+
+    msp_bases_per_sec: float
+    hash_ops_per_sec: float
+    sample_bases: int
+    sample_ops: int
+
+    def as_dict(self) -> dict:
+        return {
+            "msp_bases_per_sec": self.msp_bases_per_sec,
+            "hash_ops_per_sec": self.hash_ops_per_sec,
+            "sample_bases": self.sample_bases,
+            "sample_ops": self.sample_ops,
+        }
+
+
+def measure_host_rates(reads, k: int, p: int, n_partitions: int,
+                       max_reads: int = 256) -> HostCalibration:
+    """Run both kernels on a sample of ``reads`` and time them.
+
+    The sample is the leading ``max_reads`` reads — enough work to
+    amortize interpreter overhead, small enough that calibration stays
+    a fraction of a real build.  Rates are floored at 1.0 so a
+    degenerate sample can never produce a zero-division downstream.
+    """
+    from ..core.hashtable import ConcurrentHashTable
+    from ..core.subgraph import block_observations
+    from ..dna.reads import ReadBatch
+    from ..msp.partitioner import partition_reads
+
+    sample = (ReadBatch(codes=reads.codes[:max_reads])
+              if reads.n_reads > max_reads else reads)
+    t0 = time.perf_counter()
+    result = partition_reads(sample, k, p, n_partitions)
+    msp_elapsed = time.perf_counter() - t0
+    n_bases = sample.n_reads * sample.read_length
+
+    sample_ops = 0
+    t1 = time.perf_counter()
+    for block in result.blocks:
+        if not block.n_superkmers:
+            continue
+        vertex_ids, slots = block_observations(block)
+        if not vertex_ids.size:
+            continue
+        capacity = 1
+        while capacity < 2 * vertex_ids.size:
+            capacity *= 2
+        table = ConcurrentHashTable(capacity, k)
+        table.insert_batch(vertex_ids, slots)
+        sample_ops += table.stats.ops + table.stats.probes
+    hash_elapsed = time.perf_counter() - t1
+
+    return HostCalibration(
+        msp_bases_per_sec=max(1.0, n_bases / max(msp_elapsed, 1e-9)),
+        hash_ops_per_sec=max(1.0, sample_ops / max(hash_elapsed, 1e-9)),
+        sample_bases=n_bases,
+        sample_ops=sample_ops,
+    )
+
+
+def fitted_cpu(calibration: HostCalibration, n_threads: int = 1) -> CpuDevice:
+    """A :class:`CpuDevice` whose per-thread rates are this host's."""
+    return replace(
+        default_cpu(n_threads=n_threads),
+        name="host-cpu",
+        hash_ops_per_sec=calibration.hash_ops_per_sec,
+        msp_bases_per_sec=calibration.msp_bases_per_sec,
+    )
+
+
+def scaled_gpu(calibration: HostCalibration, index: int = 0) -> GpuDevice:
+    """A GPU model preserving the paper's GPU:CPU-thread rate ratios.
+
+    The K40's calibrated constants are ratios against one Xeon thread;
+    re-anchoring them to this host's measured thread keeps the
+    heterogeneous simulation honest on different hardware.
+    """
+    paper_cpu = default_cpu()
+    paper_gpu = default_gpu(index)
+    return replace(
+        paper_gpu,
+        name=f"host-gpu{index}",
+        hash_ops_per_sec=calibration.hash_ops_per_sec
+        * (paper_gpu.hash_ops_per_sec / paper_cpu.hash_ops_per_sec),
+        msp_bases_per_sec=calibration.msp_bases_per_sec
+        * (paper_gpu.msp_bases_per_sec / paper_cpu.msp_bases_per_sec),
+    )
+
+
+def claim_weight(device: Device, work: MspWork | HashWork,
+                 target_seconds: float = 0.05, max_weight: int = 8) -> int:
+    """Tickets one queue visit should claim on ``device``.
+
+    A fast device (or tiny work items) claims several tickets per visit
+    so queue synchronization amortizes; a slow device claims one so the
+    tail stays balanced (the §III-E work-stealing argument).  The
+    weight is how many ``work``-sized items fit in ``target_seconds``
+    of device time, clamped to ``[1, max_weight]``.
+    """
+    seconds = device.total_seconds(work)
+    if seconds <= 0.0:
+        return max_weight
+    return max(1, min(max_weight, int(round(target_seconds / seconds))))

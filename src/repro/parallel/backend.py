@@ -17,6 +17,20 @@ scales with cores instead of being serialized by the GIL:
   into the shared buffers.  The parent then reads each finished table
   *in place* — result transfer is zero-copy, nothing big is pickled.
 
+With ``config.pipeline`` (the default) the two steps run in ONE worker
+pool as the §III-E streaming pipeline instead of two pools split by a
+global barrier: each worker finishes its share of Step 1, announces its
+spill manifest to the parent through the pool's event channel, and
+falls through to claiming Step-2 partitions from a
+:class:`~repro.concurrentsub.workqueue.ProcessWorkQueue`.  The parent's
+merger reacts to the manifests inline with the result-poll loop —
+finalizing partitions one at a time (merge spills, create the shared
+table segment, publish the work order) so early partitions are being
+hashed by some workers while the parent is still finalizing later ones
+and slower workers are still partitioning reads.  ``config.calibrate``
+sizes both claim weights from a measured
+:mod:`repro.hetsim.device` fit of this host.
+
 A table whose Property-1 estimate is breached (``TableFullError``)
 falls back to a worker-local regrown table whose graph is returned
 through the result queue.
@@ -39,7 +53,11 @@ from pathlib import Path
 
 import numpy as np
 
-from ..concurrentsub.workqueue import ProcessTicketQueue, WorkerRecord
+from ..concurrentsub.workqueue import (
+    ProcessTicketQueue,
+    ProcessWorkQueue,
+    WorkerRecord,
+)
 from ..core.estimator import next_power_of_two
 from ..core.hashtable import HashStats, TableFullError
 from ..dna.reads import ReadBatch
@@ -127,12 +145,47 @@ def _step1_worker(worker_id: int, batch_spec: SegmentSpec,
     return report
 
 
+def _process_step2_job(job: _Step2Job, sizing, preaggregate: bool) -> dict:
+    """Fill one partition's shared table in place; returns its payload."""
+    from ..core.subgraph import (
+        block_observations,
+        build_subgraph,
+        preaggregate_observations,
+    )
+
+    block = load_partition_group([Path(s) for s in job.group], job.k)
+    payload: dict = {"partition": job.partition,
+                     "n_kmers": block.total_kmers()}
+    seg = attach_segment(job.table_spec)
+    table = table_over_segment(seg, job.k, fresh=True)
+    try:
+        vertex_ids, slots = block_observations(block)
+        counts = None
+        if preaggregate:
+            vertex_ids, slots, counts = preaggregate_observations(
+                vertex_ids, slots
+            )
+        table.insert_batch(vertex_ids, slots, counts=counts)
+        seg["header"][HEADER_N_OCCUPIED] = table.n_occupied
+        payload["stats"] = table.stats
+        payload["fallback"] = None
+    except TableFullError:
+        # Property-1 estimate breached: regrow locally and ship
+        # the (rare) oversized result through the queue instead.
+        result = build_subgraph(block, policy=sizing, n_threads=1,
+                                preaggregate=preaggregate)
+        payload["stats"] = result.stats
+        payload["fallback"] = result.graph
+    finally:
+        table.detach_views()
+        seg.close()
+    return payload
+
+
 def _step2_worker(worker_id: int, jobs: list[_Step2Job],
                   tickets: ProcessTicketQueue, weights: list[int],
-                  sizing) -> list[dict]:
+                  sizing, preaggregate: bool) -> list[dict]:
     """Claim partitions and fill their shared tables in place."""
-    from ..core.subgraph import block_observations, build_subgraph
-
     weight = weights[worker_id]
     out: list[dict] = []
     while True:
@@ -140,32 +193,186 @@ def _step2_worker(worker_id: int, jobs: list[_Step2Job],
         if not ids:
             break
         for ticket in ids:
-            job = jobs[ticket]
-            block = load_partition_group([Path(s) for s in job.group], job.k)
-            payload: dict = {"partition": job.partition,
-                             "n_kmers": block.total_kmers()}
-            seg = attach_segment(job.table_spec)
-            table = table_over_segment(seg, job.k, fresh=True)
-            try:
-                vertex_ids, slots = block_observations(block)
-                table.insert_batch(vertex_ids, slots)
-                seg["header"][HEADER_N_OCCUPIED] = table.n_occupied
-                payload["stats"] = table.stats
-                payload["fallback"] = None
-            except TableFullError:
-                # Property-1 estimate breached: regrow locally and ship
-                # the (rare) oversized result through the queue instead.
-                result = build_subgraph(block, policy=sizing, n_threads=1)
-                payload["stats"] = result.stats
-                payload["fallback"] = result.graph
-            finally:
-                table.detach_views()
-                seg.close()
-            out.append(payload)
+            out.append(_process_step2_job(jobs[ticket], sizing, preaggregate))
     return out
 
 
+def _pipeline_worker(worker_id: int, batch_spec: SegmentSpec,
+                     chunk_bounds: list[tuple[int, int]],
+                     tickets: ProcessTicketQueue, weights: list[int],
+                     step2_weights: list[int], ready: ProcessWorkQueue,
+                     k: int, p: int, n_partitions: int, spill_dir: str,
+                     sizing, preaggregate: bool, *, emit) -> dict:
+    """Both steps in one process: partition, announce, then hash.
+
+    The worker drains Step-1 chunk tickets exactly like
+    :func:`_step1_worker`, emits its spill manifest through the pool's
+    event channel (the parent's merger is listening), and immediately
+    starts claiming ready partitions — which the merger publishes as
+    soon as *every* worker's manifest has landed, i.e. while this
+    worker's slower peers may still be spilling.
+    """
+    report = _step1_worker(worker_id, batch_spec, chunk_bounds, tickets,
+                           weights, k, p, n_partitions, spill_dir)
+    emit(("spills", report))
+    weight = step2_weights[worker_id]
+    out: list[dict] = []
+    while True:
+        jobs = ready.claim(weight)
+        if not jobs:
+            break
+        for job in jobs:
+            out.append(_process_step2_job(job, sizing, preaggregate))
+    return {"step2": out}
+
+
 # -- the driver ------------------------------------------------------------------
+
+
+class _PipelineMerger:
+    """Parent-side Step-1→Step-2 handoff for the pipelined backend.
+
+    Collects every worker's spill manifest (delivered through the
+    pool's event channel, so this runs inline with the parent's result
+    poll — single-threaded, no locks needed despite feeding a
+    cross-process queue).  Once the last manifest lands, partitions are
+    finalized ONE AT A TIME — merge the partition's spill group,
+    create its shared table segment, publish its work order — so
+    workers hash early partitions while later ones are still being
+    finalized.  The ready queue is closed after the last publication;
+    a merger failure propagates out of ``run_workers`` and tears the
+    pool down, so workers can never hang on an unclosed queue.
+    """
+
+    def __init__(self, cfg, n_workers: int, ready: ProcessWorkQueue,
+                 workdir: str | Path | None) -> None:
+        self.cfg = cfg
+        self.n_workers = n_workers
+        self.ready = ready
+        self.workdir = workdir
+        self.reports: dict[int, dict] = {}
+        self.segments: dict[int, object] = {}
+        self.kmers_per_partition = np.zeros(cfg.n_partitions, dtype=np.int64)
+        self.live: list[int] = []
+        self.n_superkmers = 0
+        self.partition_bytes = 0
+        self.io_seconds = 0.0
+        self.spills_done_at: float | None = None
+
+    def on_event(self, worker_id: int, payload) -> None:
+        kind, report = payload
+        if kind != "spills":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unexpected pipeline event {kind!r}")
+        self.reports[worker_id] = report
+        if len(self.reports) == self.n_workers:
+            self._finalize_all()
+
+    def _finalize_all(self) -> None:
+        from ..msp.binio import concat_partition_files
+
+        cfg = self.cfg
+        self.spills_done_at = time.perf_counter()
+        reports = [self.reports[w] for w in range(self.n_workers)]
+        self.n_superkmers = sum(r["n_superkmers"] for r in reports)
+        for r in reports:
+            self.kmers_per_partition += np.asarray(
+                r["kmers_per_partition"], dtype=np.int64
+            )
+        groups = spill_groups([r["spills"] for r in reports],
+                              cfg.n_partitions)
+        self.partition_bytes = sum(
+            os.path.getsize(path) for group in groups for path in group
+        )
+        self.live = [
+            part for part in range(cfg.n_partitions)
+            if self.kmers_per_partition[part] > 0
+        ]
+        # Heaviest partitions first (LPT-style): the long jobs start
+        # while the parent is still finalizing the light tail.  Result
+        # assembly re-orders by partition id, so the graph is unchanged.
+        order = sorted(
+            self.live, key=lambda part: -int(self.kmers_per_partition[part])
+        )
+        merged_bytes = 0
+        try:
+            for part in order:
+                sources = groups[part]
+                if self.workdir is not None:
+                    t_io = time.perf_counter()
+                    dest = Path(self.workdir) / f"partition_{part:04d}.phsk"
+                    concat_partition_files(dest, sources, k=cfg.k)
+                    self.io_seconds += time.perf_counter() - t_io
+                    sources = [dest]
+                    merged_bytes += os.path.getsize(dest)
+                capacity = next_power_of_two(max(2, cfg.sizing.capacity_for(
+                    max(1, int(self.kmers_per_partition[part]))
+                )))
+                seg = create_table_segment(capacity, cfg.k)
+                self.segments[part] = seg
+                self.ready.publish(_Step2Job(
+                    partition=part, k=cfg.k, table_spec=seg.spec,
+                    group=tuple(str(p) for p in sources),
+                ))
+            if self.workdir is not None:
+                # Serial disk-backed runs leave one canonical file per
+                # partition, empty partitions included — match that
+                # layout file-for-file.
+                t_io = time.perf_counter()
+                for part in range(cfg.n_partitions):
+                    if part in self.segments:
+                        continue
+                    dest = Path(self.workdir) / f"partition_{part:04d}.phsk"
+                    concat_partition_files(dest, groups[part], k=cfg.k)
+                    merged_bytes += os.path.getsize(dest)
+                self.io_seconds += time.perf_counter() - t_io
+                self.partition_bytes = merged_bytes
+        finally:
+            self.ready.close()
+
+    def unlink_segments(self) -> None:
+        for seg in self.segments.values():
+            seg.unlink()
+        self.segments.clear()
+
+
+def _calibrated_weights(reads: ReadBatch, cfg, n_workers: int,
+                        n_chunks: int) -> tuple[list[int], list[int], object]:
+    """Fit the device model to this host and size both claim weights."""
+    from ..hetsim.device import (
+        ENTRY_BYTES,
+        HashWork,
+        MspWork,
+        claim_weight,
+        fitted_cpu,
+        measure_host_rates,
+    )
+
+    calibration = measure_host_rates(reads, cfg.k, cfg.p, cfg.n_partitions)
+    device = fitted_cpu(calibration, n_threads=1)
+    reads_per_chunk = max(1, reads.n_reads // max(1, n_chunks))
+    chunk_bases = reads_per_chunk * reads.read_length
+    msp_work = MspWork(
+        n_reads=reads_per_chunk, n_bases=chunk_bases, n_superkmers=0,
+        in_bytes=chunk_bases, out_bytes=chunk_bases,
+    )
+    # Per-partition Step-2 work, estimated from the input shape: every
+    # kmer instance yields one multiplicity observation and up to two
+    # edge observations (~3 ops), with the sample's measured rate
+    # already folding in probe cost.
+    kmers_per_read = max(1, reads.read_length - cfg.k + 1)
+    est_kmers = max(
+        1, reads.n_reads * kmers_per_read // max(1, cfg.n_partitions)
+    )
+    est_ops = 3 * est_kmers
+    capacity = cfg.sizing.capacity_for(est_kmers)
+    hash_work = HashWork(
+        n_kmers=est_kmers, ops=est_ops, probes=est_ops // 4,
+        inserts=max(1, est_kmers // 4), table_bytes=capacity * ENTRY_BYTES,
+        in_bytes=est_kmers, out_bytes=0,
+    )
+    step1 = [claim_weight(device, msp_work)] * n_workers
+    step2 = [claim_weight(device, hash_work)] * n_workers
+    return step1, step2, calibration
 
 
 def build_graph_processes(
@@ -174,24 +381,44 @@ def build_graph_processes(
     workdir: str | Path | None = None,
     output_dir: str | Path | None = None,
     weights: list[int] | None = None,
+    step2_weights: list[int] | None = None,
 ):
     """Run the two-step workflow across worker processes.
 
     Mirrors :meth:`repro.core.parahash.ParaHash.build_graph` (same
     result type, graph bit-for-bit identical to the serial backend) but
     executes Step 1 and Step 2 on ``config.workers()`` processes.
-    ``weights`` optionally skews the ticket dispatch (one entry per
-    worker; a weight-``w`` worker claims ``w`` chunks per visit — the
-    CPU/GPU-style dispatch knob).
+    ``weights`` / ``step2_weights`` optionally skew the ticket dispatch
+    (one entry per worker; a weight-``w`` worker claims ``w`` chunks —
+    or ready partitions — per visit, the CPU/GPU-style dispatch knob).
+    With ``config.calibrate`` and no explicit weights, both are sized
+    from a warm-up measurement fit of :mod:`repro.hetsim.device`.
+
+    ``config.pipeline`` selects the streaming driver (one pool, both
+    steps, no barrier); without it the two steps run as separate pools
+    with a global barrier between them.  Both produce the identical
+    graph and on-disk artifacts.
     """
     from ..core.parahash import ParaHashResult, StageTimings
 
     cfg = config
     n_workers = cfg.workers()
+    n_chunks = max(cfg.n_input_pieces, 2 * n_workers)
+    if cfg.calibrate and weights is None and step2_weights is None \
+            and reads.n_reads:
+        weights, step2_weights, _ = _calibrated_weights(
+            reads, cfg, n_workers, n_chunks
+        )
     if weights is None:
         weights = [1] * n_workers
+    if step2_weights is None:
+        step2_weights = [1] * n_workers
     if len(weights) != n_workers or min(weights) < 1:
         raise ValueError("weights must give every worker a weight >= 1")
+    if len(step2_weights) != n_workers or min(step2_weights) < 1:
+        raise ValueError(
+            "step2_weights must give every worker a weight >= 1"
+        )
     ctx = default_context()
 
     tmp: tempfile.TemporaryDirectory | None = None
@@ -206,13 +433,17 @@ def build_graph_processes(
     io_seconds = 0.0
     try:
         # ---- Step 1: chunked fan-out over shared read memory --------------
-        n_chunks = max(cfg.n_input_pieces, 2 * n_workers)
         bounds_arr = np.linspace(0, reads.n_reads, n_chunks + 1).astype(int)
         chunk_bounds = [
             (int(bounds_arr[i]), int(bounds_arr[i + 1]))
             for i in range(n_chunks)
             if bounds_arr[i + 1] > bounds_arr[i]
         ]
+        if cfg.pipeline and chunk_bounds:
+            return _build_pipelined(
+                reads, cfg, chunk_bounds, weights, step2_weights,
+                spill_dir, workdir, output_dir, ctx, t0,
+            )
         reports: list[dict] = []
         if chunk_bounds:
             tickets1 = ProcessTicketQueue(len(chunk_bounds), ctx)
@@ -272,7 +503,8 @@ def build_graph_processes(
                 tickets2 = ProcessTicketQueue(len(jobs), ctx)
                 payload_lists = run_workers(
                     _step2_worker, step2_workers, ctx=ctx,
-                    args=(jobs, tickets2, weights, cfg.sizing),
+                    args=(jobs, tickets2, step2_weights, cfg.sizing,
+                          cfg.preaggregate),
                 )
             by_partition = {
                 payload["partition"]: payload
@@ -321,6 +553,103 @@ def build_graph_processes(
     finally:
         if tmp is not None:
             tmp.cleanup()
+
+
+def _build_pipelined(
+    reads: ReadBatch,
+    cfg,
+    chunk_bounds: list[tuple[int, int]],
+    weights: list[int],
+    step2_weights: list[int],
+    spill_dir: Path,
+    workdir: str | Path | None,
+    output_dir: str | Path | None,
+    ctx,
+    t0: float,
+):
+    """The streaming driver: one pool runs both steps, no barrier.
+
+    Called from :func:`build_graph_processes` (which owns spill-dir
+    setup/teardown); returns the same :class:`ParaHashResult`.
+    """
+    from ..core.parahash import ParaHashResult, StageTimings
+
+    n_workers = cfg.workers()
+    tickets1 = ProcessTicketQueue(len(chunk_bounds), ctx)
+    ready = ProcessWorkQueue(cfg.n_partitions, ctx=ctx, claim_timeout=600.0)
+    merger = _PipelineMerger(cfg, n_workers, ready, workdir)
+    batch_seg = share_read_batch(reads)
+    try:
+        try:
+            results = run_workers(
+                _pipeline_worker, n_workers, ctx=ctx,
+                args=(batch_seg.spec, chunk_bounds, tickets1, weights,
+                      step2_weights, ready, cfg.k, cfg.p, cfg.n_partitions,
+                      str(spill_dir), cfg.sizing, cfg.preaggregate),
+                on_event=merger.on_event,
+            )
+        finally:
+            batch_seg.unlink()
+            # On an error path some workers may have been terminated
+            # between a reservation and its item pickup; aborting makes
+            # any racing claim return instead of wait out its timeout.
+            ready.abort()
+
+        by_partition: dict[int, dict] = {}
+        for result in results:
+            for payload in result["step2"]:
+                by_partition[payload["partition"]] = payload
+        missing = [p for p in merger.live if p not in by_partition]
+        if missing:  # pragma: no cover - queue drain guarantees coverage
+            raise RuntimeError(
+                f"partitions {missing} were published but never hashed"
+            )
+        subgraphs: list[DeBruijnGraph] = []
+        stats = HashStats()
+        for part in merger.live:
+            payload = by_partition[part]
+            stats = stats.merged_with(payload["stats"])
+            if payload["fallback"] is not None:
+                subgraphs.append(payload["fallback"])
+                continue
+            seg = merger.segments[part]
+            table = table_over_segment(seg, cfg.k, fresh=False)
+            table.n_occupied = int(seg["header"][HEADER_N_OCCUPIED])
+            subgraphs.append(table.to_graph())
+            table.detach_views()
+    finally:
+        merger.unlink_segments()
+    t2 = time.perf_counter()
+
+    io_seconds = merger.io_seconds
+    if output_dir is not None and subgraphs:
+        from ..graph.serialize import save_subgraphs
+
+        t_io = time.perf_counter()
+        save_subgraphs(output_dir, subgraphs)
+        io_seconds += time.perf_counter() - t_io
+
+    spills_done = merger.spills_done_at or t2
+    nonempty = [g for g in subgraphs if g.n_vertices]
+    graph = merge_disjoint(nonempty) if nonempty else empty_graph(cfg.k)
+    step1_reports = [merger.reports[w] for w in sorted(merger.reports)]
+    return ParaHashResult(
+        graph=graph,
+        subgraphs=subgraphs,
+        hash_stats=stats,
+        timings=StageTimings(
+            msp_seconds=spills_done - t0,
+            hashing_seconds=max(0.0, (t2 - spills_done) - merger.io_seconds),
+            io_seconds=io_seconds,
+        ),
+        n_superkmers=merger.n_superkmers,
+        n_kmers=int(merger.kmers_per_partition.sum()),
+        partition_bytes=merger.partition_bytes,
+        config=cfg,
+        worker_records=_worker_records(
+            step1_reports, [r["step2"] for r in results]
+        ),
+    )
 
 
 def _worker_records(step1_reports: list[dict],

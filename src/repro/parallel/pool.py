@@ -44,9 +44,15 @@ def default_context() -> mp.context.BaseContext:
 
 
 def _worker_shell(fn: Callable, args: tuple, out: mp.queues.Queue,
-                  worker_id: int) -> None:
+                  worker_id: int, pass_emit: bool) -> None:
     try:
-        payload = fn(worker_id, *args)
+        if pass_emit:
+            def emit(payload: Any) -> None:
+                out.put(("event", worker_id, payload))
+
+            payload = fn(worker_id, *args, emit=emit)
+        else:
+            payload = fn(worker_id, *args)
         out.put(("ok", worker_id, payload))
     except BaseException:
         out.put(("error", worker_id, traceback.format_exc()))
@@ -59,6 +65,7 @@ def run_workers(
     ctx: mp.context.BaseContext | None = None,
     poll_seconds: float = 0.25,
     timeout: float | None = 600.0,
+    on_event: Callable[[int, Any], None] | None = None,
 ) -> list[Any]:
     """Run ``fn(worker_id, *args)`` in ``n_workers`` processes.
 
@@ -68,13 +75,24 @@ def run_workers(
     worker vanished without a result; in both cases surviving workers
     are terminated before the error propagates, so the caller can
     release shared segments safely.
+
+    With ``on_event`` set, workers are additionally handed an
+    ``emit(payload)`` keyword callable; every emitted payload is
+    delivered to ``on_event(worker_id, payload)`` *in the parent*,
+    inline with the result-poll loop.  This is the pipelined backend's
+    mid-run channel: workers announce spill completion while still
+    running, and the parent's merger reacts between liveness polls.  An
+    exception from ``on_event`` tears the pool down like any parent
+    failure (workers are terminated in the ``finally``), so a failing
+    merger can never strand workers.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     ctx = ctx or default_context()
     out: mp.queues.Queue = ctx.Queue()
     procs = [
-        ctx.Process(target=_worker_shell, args=(fn, args, out, w),
+        ctx.Process(target=_worker_shell,
+                    args=(fn, args, out, w, on_event is not None),
                     name=f"repro-worker-{w}", daemon=True)
         for w in range(n_workers)
     ]
@@ -108,6 +126,10 @@ def run_workers(
                         f"(exit codes {codes}); inputs may be partially "
                         f"processed"
                     )
+                continue
+            if kind == "event":
+                if on_event is not None:
+                    on_event(worker_id, payload)
                 continue
             reported[worker_id] = True
             if kind == "ok":

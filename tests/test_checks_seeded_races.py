@@ -68,7 +68,10 @@ class TestNumpyPublishBug:
     def test_lockset_flags_unordered_mirror_read(self):
         # The mirror write is write-once, so classic lockset alone would
         # stay silent; the publication-ordering extension must report
-        # the unordered read of the stale mirror.
+        # the unordered read of the stale mirror.  Deterministic even on
+        # a starved 1-core box: readers do at least one full pass, and
+        # the monitor's thread ids are reuse-proof, so any cross-thread
+        # read-after-write reports regardless of the schedule.
         with seed_bugs("numpy_publish"):
             table = ConcurrentHashTable(2048, k=15)
             with lockset_session() as mon:

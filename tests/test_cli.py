@@ -243,6 +243,40 @@ class TestBigKCli:
                    "--tsv", str(tmp_path / "g.tsv")])
         assert rc == 2
 
+    def test_processes_backend_rejected_before_reads_load(
+        self, tmp_path, capsys
+    ):
+        # big-k + processes must fail at argument validation; a
+        # nonexistent input file proves the reads were never opened.
+        missing = tmp_path / "does-not-exist.fastq"
+        rc = main(["build", "--input", str(missing), "--k", "41",
+                   "--p", "15", "--partitions", "4",
+                   "--backend", "processes",
+                   "--output", str(tmp_path / "g.phdbg")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "k <= 31" in err
+        # The error must name the working big-k alternatives.
+        assert "--backend serial" in err
+        assert "--backend threads" in err
+        assert not (tmp_path / "g.phdbg").exists()
+
+    def test_threads_backend_builds_large_k(self, reads_file, tmp_path):
+        from repro.bigk import load_big_graph
+
+        serial_out = tmp_path / "serial.phdbg"
+        threads_out = tmp_path / "threads.phdbg"
+        rc = main(["build", "--input", str(reads_file), "--k", "41",
+                   "--p", "15", "--partitions", "4",
+                   "--backend", "serial", "--output", str(serial_out)])
+        assert rc == 0
+        rc = main(["build", "--input", str(reads_file), "--k", "41",
+                   "--p", "15", "--partitions", "4",
+                   "--backend", "threads", "--workers", "2",
+                   "--output", str(threads_out)])
+        assert rc == 0
+        assert load_big_graph(threads_out).equals(load_big_graph(serial_out))
+
 
 class TestParser:
     def test_unknown_command(self):

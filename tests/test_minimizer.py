@@ -35,6 +35,24 @@ class TestSlidingMin:
         a = np.array([5, 3, 8, 1, 9])
         assert mz.sliding_min(a, 2).tolist() == [3, 3, 1, 1]
 
+    def test_1d_full_window(self):
+        a = np.array([5, 3, 8, 1, 9])
+        assert mz.sliding_min(a, 5).tolist() == [1]
+
+    def test_single_element_window_one(self):
+        a = np.array([[42]])
+        got = mz.sliding_min(a, 1)
+        assert got.shape == (1, 1)
+        assert got[0, 0] == 42
+
+    def test_window_one_does_not_alias_input(self):
+        # window == 1 must return values equal to the input but not a
+        # view that later doubling rounds (or the caller) could mutate.
+        a = np.array([[7, 2, 5]])
+        got = mz.sliding_min(a, 1)
+        got[0, 0] = -1
+        assert a[0, 0] == 7
+
 
 class TestMinimizers:
     def test_matches_reference_noncanonical(self, rng):

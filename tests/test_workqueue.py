@@ -8,6 +8,8 @@ import pytest
 from repro.concurrentsub.workqueue import (
     InputQueue,
     OutputQueue,
+    ProcessTicketQueue,
+    ProcessWorkQueue,
     QueueClosed,
     run_coprocessed,
 )
@@ -137,3 +139,132 @@ class TestRunCoprocessed:
         results, records = run_coprocessed([], {"w": lambda x: x})
         assert results == []
         assert records["w"].items_processed == 0
+
+
+class TestProcessTicketQueue:
+    def test_weighted_claims_are_consecutive(self):
+        q = ProcessTicketQueue(7)
+        assert q.claim(3) == [0, 1, 2]
+        assert q.claim(2) == [3, 4]
+        assert q.claimed() == 5
+
+    def test_weight_exceeding_remaining_returns_tail(self):
+        q = ProcessTicketQueue(5)
+        assert q.claim(3) == [0, 1, 2]
+        # Only two tickets remain; an oversized claim takes just those.
+        assert q.claim(10) == [3, 4]
+        assert q.claimed() == 5
+
+    def test_drained_queue_returns_empty_forever(self):
+        q = ProcessTicketQueue(2)
+        assert q.claim(2) == [0, 1]
+        assert q.claim(1) == []
+        assert q.claim(5) == []
+        assert q.claimed() == 2
+
+    def test_weight_below_one_rejected(self):
+        q = ProcessTicketQueue(3)
+        with pytest.raises(ValueError):
+            q.claim(0)
+        with pytest.raises(ValueError):
+            q.claim(-2)
+        # The failed claims must not have consumed tickets.
+        assert q.claim(3) == [0, 1, 2]
+
+    def test_zero_item_queue(self):
+        q = ProcessTicketQueue(0)
+        assert q.claim(1) == []
+        assert q.claimed() == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessTicketQueue(-1)
+
+
+class TestProcessWorkQueue:
+    def test_publish_then_claim(self):
+        q = ProcessWorkQueue(4)
+        assert q.publish("a") == 0
+        assert q.publish("b") == 1
+        assert q.claim(1, timeout=2.0) == ["a"]
+        assert q.claim(5, timeout=2.0) == ["b"]
+        assert q.published() == 2
+
+    def test_closed_and_drained_returns_empty(self):
+        q = ProcessWorkQueue(2)
+        q.publish("x")
+        q.close()
+        assert q.claim(1, timeout=2.0) == ["x"]
+        assert q.claim(1, timeout=2.0) == []
+        assert q.claim(3, timeout=2.0) == []
+
+    def test_publish_after_close_rejected(self):
+        q = ProcessWorkQueue(2)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.publish("late")
+
+    def test_publish_beyond_capacity_rejected(self):
+        q = ProcessWorkQueue(1)
+        q.publish("only")
+        with pytest.raises(IndexError):
+            q.publish("overflow")
+
+    def test_abort_unblocks_immediately(self):
+        q = ProcessWorkQueue(3)
+        q.publish("never-delivered")
+        q.abort()
+        t0 = time.perf_counter()
+        assert q.claim(1, timeout=30.0) == []
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_claim_weight_below_one_rejected(self):
+        q = ProcessWorkQueue(1)
+        with pytest.raises(ValueError):
+            q.claim(0)
+
+    def test_claim_timeout_raises_instead_of_hanging(self):
+        q = ProcessWorkQueue(1)  # open, nothing published, nobody will
+        t0 = time.perf_counter()
+        with pytest.raises(QueueClosed):
+            q.claim(1, timeout=0.2)
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_claim_blocks_until_publish(self):
+        q = ProcessWorkQueue(1)
+        got = []
+
+        def consumer():
+            got.extend(q.claim(1, timeout=10.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        q.publish("late")
+        t.join(timeout=10.0)
+        assert got == ["late"]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessWorkQueue(-1)
+
+    def test_cross_process_claims_cover_all_items(self):
+        from repro.parallel.pool import default_context, run_workers
+
+        ctx = default_context()
+        q = ProcessWorkQueue(6, ctx=ctx)
+        for i in range(6):
+            q.publish(i)
+        q.close()
+        results = run_workers(_drain_worker, 2, args=(q,), ctx=ctx,
+                              timeout=60.0)
+        assert sorted(x for claimed in results for x in claimed) == list(range(6))
+
+
+def _drain_worker(worker_id: int, q: ProcessWorkQueue) -> list:
+    out = []
+    while True:
+        items = q.claim(2, timeout=30.0)
+        if not items:
+            return out
+        out.extend(items)
