@@ -318,7 +318,7 @@ class TwoWordHashTable:
         atomic = self._atomic_state
         if atomic is not None:
             return atomic.load(pos)
-        return int(self.state[pos])
+        return int(self.state[pos])  # checks: allow[R1] single-threaded mode only (atomic path taken while threads run)
 
     def _state_view(self) -> np.ndarray:
         """All occupancy flags; see ConcurrentHashTable._state_view."""
@@ -334,9 +334,10 @@ class TwoWordHashTable:
             st = self._load_state(pos)
             if st == EMPTY:
                 return None
-            if st == OCCUPIED and int(self.keys_hi[pos]) == hi \
-                    and int(self.keys_lo[pos]) == lo:  # checks: allow[R1] immutable after OCCUPIED publication
-                return self.counts[pos].copy()
+            if st == OCCUPIED:
+                if (int(self.keys_hi[pos]) == hi  # checks: allow[R1] immutable after OCCUPIED publication
+                        and int(self.keys_lo[pos]) == lo):  # checks: allow[R1] immutable after OCCUPIED publication
+                    return self.counts[pos].copy()  # checks: allow[R1] racy snapshot of monotonic counters
         return None
 
     def to_graph(self) -> BigDeBruijnGraph:

@@ -1,11 +1,16 @@
-"""Command-line driver: ``python -m repro.checks [lint|races] ...``.
+"""Command-line driver: ``python -m repro.checks [lint|races|model] ...``.
 
-* ``lint`` — run the R1–R5 static rules over source paths; exit 1 when
+* ``lint`` — run the R1–R9 static rules over source paths; exit 1 when
   any issue survives its pragmas.
 * ``races`` — run the dynamic lockset detector over a threaded stress
   load and the adversarial scheduler scenarios; exit 1 when a candidate
   race is reported.  ``--seed-bug`` re-introduces a fixed bug to
   demonstrate detection (the exit code then *expects* the race).
+* ``model`` — explore the abstract protocol models (CAS insert,
+  srv/cns work queue) exhaustively up to a bound; exit 1 on any
+  invariant violation, deadlock, or bound truncation.  ``--corpus``
+  additionally requires every seeded-bug variant to be *refuted* with a
+  counterexample trace that replays against the real implementation.
 """
 
 from __future__ import annotations
@@ -14,6 +19,16 @@ import argparse
 import sys
 
 from .lint import lint_paths
+from .report import print_report
+
+#: Model sizes used when *refuting* seeded-bug variants.  Small on
+#: purpose: two contenders over two items is the minimal arena in which
+#: every corpus bug manifests, the search finds the counterexample in
+#: milliseconds, and the resulting trace maps 1:1 onto the two-thread
+#: replay harnesses in :mod:`repro.checks.replay`.
+_REFUTE_WRITERS = 2
+_REFUTE_CONSUMERS = 2
+_REFUTE_ITEMS = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +56,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the adversarial scheduler scenarios")
     p.set_defaults(func=cmd_races)
 
+    p = sub.add_parser(
+        "model",
+        help="explicit-state model checking of the protocol models")
+    p.add_argument("--protocol", choices=["insert", "workqueue", "all"],
+                   default="all")
+    p.add_argument("--writers", type=int, default=3,
+                   help="insert model: concurrent writers (CI bound: 3)")
+    p.add_argument("--consumers", type=int, default=3,
+                   help="workqueue model: concurrent consumers (CI bound: 3)")
+    p.add_argument("--items", type=int, default=4,
+                   help="workqueue model: published items (CI bound: 4)")
+    p.add_argument("--deep", action="store_true",
+                   help="nightly bound: 4 writers, 4 consumers, 5 items")
+    p.add_argument("--max-states", type=int, default=500_000)
+    p.add_argument("--max-depth", type=int, default=5_000)
+    p.add_argument("--corpus", action="store_true",
+                   help="refute every seeded-bug variant and replay each "
+                        "counterexample against the real code")
+    p.add_argument("--bug", metavar="VARIANT",
+                   help="refute a single seeded-bug variant")
+    p.add_argument("--no-replay", action="store_true",
+                   help="skip executing counterexamples against the real "
+                        "implementation (model-level refutation only)")
+    p.add_argument("--show-trace", action="store_true",
+                   help="print every counterexample trace, not just "
+                        "unexpected ones")
+    p.set_defaults(func=cmd_model)
+
     return parser
 
 
@@ -54,17 +97,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"repro.checks lint: cannot parse {exc.filename}:{exc.lineno}: "
               f"{exc.msg}", file=sys.stderr)
         return 2
-    for issue in issues:
-        print(issue.format())
-    if issues:
-        counts: dict[str, int] = {}
-        for issue in issues:
-            counts[issue.rule] = counts.get(issue.rule, 0) + 1
-        summary = ", ".join(f"{r}: {n}" for r, n in sorted(counts.items()))
-        print(f"\n{len(issues)} issue(s) ({summary})")
-        return 1
-    print("checks lint: clean")
-    return 0
+    return print_report(issues, fmt=lambda i: i.format(),
+                        key=lambda i: i.rule, tool="lint")
 
 
 def cmd_races(args: argparse.Namespace) -> int:
@@ -134,6 +168,77 @@ def cmd_races(args: argparse.Namespace) -> int:
         return 1
     print("races: no candidate races detected")
     return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    # Lazy imports, same reason as cmd_races: `lint` stays numpy-free.
+    from .model import check_model, render_trace
+    from .protocols import CORPUS, build_model
+
+    writers, consumers, items = args.writers, args.consumers, args.items
+    if args.deep:
+        writers = max(writers, 4)
+        consumers = max(consumers, 4)
+        items = max(items, 5)
+
+    failures: list[str] = []
+
+    # -- refutation mode: seeded-bug corpus --------------------------------
+    if args.bug or args.corpus:
+        pairs = [(p, v) for p, v in CORPUS
+                 if args.corpus or v == args.bug]
+        if not pairs:
+            known = ", ".join(v for _, v in CORPUS)
+            print(f"repro.checks model: unknown seeded bug {args.bug!r} "
+                  f"(corpus: {known})", file=sys.stderr)
+            return 2
+        for protocol, variant in pairs:
+            model = build_model(protocol, variant=variant,
+                                writers=_REFUTE_WRITERS,
+                                consumers=_REFUTE_CONSUMERS,
+                                items=_REFUTE_ITEMS)
+            res = check_model(model, max_states=args.max_states,
+                              max_depth=args.max_depth)
+            label = f"{protocol}/{variant}"
+            if res.violation is None:
+                failures.append(f"{label}: NOT refuted — {res.summary()}")
+                continue
+            v = res.violation
+            print(f"{label}: refuted — {v.kind}: {v.message} "
+                  f"[{len(v.trace)}-step trace, {res.states_explored} states]")
+            if args.show_trace:
+                print(render_trace(v.trace, title=label))
+            if not args.no_replay:
+                from .replay import replay_counterexample
+
+                rep = replay_counterexample(protocol, variant, v.trace)
+                print(f"  replay: {rep.summary()}")
+                if not rep.reproduced:
+                    failures.append(f"{label}: trace did not replay — "
+                                    f"{rep.detail}")
+        return print_report(
+            failures, fmt=str, key=lambda f: f.split(":", 1)[0],
+            tool="model (corpus)", noun="refutation failure")
+
+    # -- verification mode: the fixed protocols ----------------------------
+    protocols = (["insert", "workqueue"] if args.protocol == "all"
+                 else [args.protocol])
+    for protocol in protocols:
+        model = build_model(protocol, writers=writers,
+                            consumers=consumers, items=items)
+        res = check_model(model, max_states=args.max_states,
+                          max_depth=args.max_depth)
+        print(res.summary())
+        if res.violation is not None:
+            print(render_trace(res.violation.trace, title=model.name))
+            failures.append(f"{model.name}: {res.violation.kind}")
+        elif res.truncated:
+            # A truncated run proves nothing; CI must not go green on it.
+            failures.append(f"{model.name}: bounds hit before exhaustion "
+                            f"(raise --max-states/--max-depth)")
+    return print_report(
+        failures, fmt=str, key=lambda f: f.split(":", 1)[0],
+        tool="model", noun="violation")
 
 
 def main(argv: list[str] | None = None) -> int:

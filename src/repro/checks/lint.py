@@ -33,22 +33,53 @@ R5  No signed/unsigned dtype mixing on ``uint64`` key arithmetic: a
     signed-integer array promotes to ``float64`` under NumPy's rules
     and silently corrupts keys.
 
-Threaded reachability: every function in ``repro/concurrentsub`` is
-considered threaded (the module *is* the concurrency substrate);
-elsewhere, reachability starts from the per-operation protocol entry
-points (``insert_one_threadsafe``) and follows ``self.method()`` /
-local-function calls within the file.
+R6  Shared-memory segment lifecycle: a name bound from a creator call
+    (``create_segment``/``create_table_segment``/``share_read_batch``)
+    must reach ``unlink()`` on every exit path — via a ``with`` block,
+    an enclosing (or immediately following) ``try`` whose ``finally``
+    unlinks it, or by escaping through ``return``/``yield`` (ownership
+    transfer).  Conversely a name bound from an attacher call
+    (``attach_segment``/``attach_read_batch``) must *never* call
+    ``unlink()``: the owner unlinks, attachers only close.
+
+R7  No shared-memory handle or numpy view over one may cross a process
+    boundary: a creator/attacher-tainted name (or a subscript view of
+    one) appearing in the ``args=`` of a ``Process``/``run_workers``
+    spawn is a pickle hazard — pass the picklable ``.spec`` instead
+    and re-attach in the child.
+
+R8  The protocol counters (``srv``/``cns``/``prd``/``wrt``) are only
+    advanced through their fetch-increment/publish methods: a raw
+    ``.value`` store or augmented assignment outside a lock-held
+    ``with`` block bypasses the protocol's atomicity.
+
+R9  Every ``allow[...]`` pragma must suppress at least one issue: a
+    pragma that no longer fires marks a safety argument that no longer
+    exists (the guarded code moved or the rule stopped covering it) and
+    would silently swallow a future regression.  R9 itself cannot be
+    suppressed — stale pragmas are removed, not annotated.
+
+Threaded reachability: every function in ``repro/concurrentsub`` and
+``repro/parallel`` is considered threaded (those packages *are* the
+concurrency substrate); elsewhere, reachability starts from the
+per-operation protocol entry points (``insert_one_threadsafe``,
+``lookup``) and follows ``self.method()`` / local-function calls
+within the file.
 
 Suppression: append ``# checks: allow[R1] <reason>`` (one or more
-comma-separated rule names) to the offending line.  The pragma is part
-of the discipline — it marks the places where safety is argued, not
+comma-separated rule names) to the offending line.  Pragmas are read
+from real comment tokens only, so documentation that merely *mentions*
+the pragma syntax does not suppress anything.  The pragma is part of
+the discipline — it marks the places where safety is argued, not
 locked.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -60,10 +91,27 @@ SHARED_ARRAYS = frozenset({"state", "keys", "keys_hi", "keys_lo", "counts"})
 SHARED_OBJECT_ATTRS = frozenset({"stats"})
 
 #: Entry points of the real-thread protocol; reachability starts here.
-THREADED_ROOTS = frozenset({"insert_one_threadsafe"})
+THREADED_ROOTS = frozenset({"insert_one_threadsafe", "lookup"})
 
-#: Modules whose every function runs on (or builds) the threaded path.
-THREADED_MODULE_FRAGMENTS = ("concurrentsub",)
+#: Packages whose every function runs on (or builds) the threaded path,
+#: matched against *path components* (so ``bench_parallel_backend.py``
+#: is not swept in by substring accident).
+THREADED_MODULE_FRAGMENTS = ("concurrentsub", "parallel")
+
+#: Calls that create (own) a shared-memory segment (R6/R7).
+SEGMENT_CREATORS = frozenset({
+    "create_segment", "create_table_segment", "share_read_batch",
+})
+
+#: Calls that attach to a segment someone else owns (R6/R7).
+SEGMENT_ATTACHERS = frozenset({"attach_segment", "attach_read_batch"})
+
+#: Functions that spawn worker processes; their ``args=`` is a pickle
+#: boundary (R7).
+SPAWN_CALLS = frozenset({"Process", "run_workers"})
+
+#: Attribute chains that name a protocol counter (R8).
+_COUNTERISH = re.compile(r"\b_?(srv|cns|prd|wrt)\b")
 
 _LOCKISH = re.compile(r"lock|mutex|cond", re.IGNORECASE)
 _PRAGMA = re.compile(r"#\s*checks:\s*allow\[([A-Za-z0-9,\s]+)\]")
@@ -91,15 +139,26 @@ class LintIssue:
 
 
 def _pragma_lines(source: str) -> dict[int, frozenset[str]]:
-    """Map line number -> rules allowed on that line."""
+    """Map line number -> rules allowed on that line.
+
+    Pragmas are read from COMMENT tokens, not raw lines: a docstring or
+    message string that *mentions* the pragma syntax neither suppresses
+    anything nor counts as a stale pragma for R9.
+    """
     allowed: dict[int, frozenset[str]] = {}
-    for i, line in enumerate(source.splitlines(), start=1):
-        m = _PRAGMA.search(line)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        tokens = []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _PRAGMA.search(tok.string)
         if m:
             rules = frozenset(
                 r.strip().upper() for r in m.group(1).split(",") if r.strip()
             )
-            allowed[i] = rules
+            allowed[tok.start[0]] = rules
     return allowed
 
 
@@ -145,7 +204,8 @@ def _collect_functions(tree: ast.Module) -> list[_FuncInfo]:
 
 def _threaded_functions(funcs: list[_FuncInfo], path: str) -> set[int]:
     """ids of function nodes reachable from the threaded roots."""
-    if any(fragment in path for fragment in THREADED_MODULE_FRAGMENTS):
+    parts = Path(path).parts
+    if any(fragment in parts for fragment in THREADED_MODULE_FRAGMENTS):
         return {id(f.node) for f in funcs}
     by_method: dict[tuple[str | None, str], _FuncInfo] = {}
     by_name: dict[str, _FuncInfo] = {}
@@ -196,9 +256,16 @@ def _self_attr(node: ast.AST) -> str | None:
 
 
 class _GuardWalker:
-    """Walk one function body tracking lock / CAS-window guard context."""
+    """Walk one function body tracking lock / CAS-window guard context.
 
-    def __init__(self) -> None:
+    ``cas_names`` are local names assigned from an expression containing
+    a ``compare_and_swap`` call (``won = atomic.compare_and_swap(...)``);
+    an ``if <such-name>:`` body is the exclusive window exactly like an
+    ``if atomic.compare_and_swap(...):`` body.
+    """
+
+    def __init__(self, cas_names: frozenset[str] = frozenset()) -> None:
+        self.cas_names = cas_names
         self.hits: list[tuple[ast.AST, bool]] = []  # (node, guarded)
 
     def walk(self, func: ast.FunctionDef):
@@ -218,7 +285,10 @@ class _GuardWalker:
             yield from self._walk_body(stmt.body, inner)
         elif isinstance(stmt, ast.If):
             yield stmt.test, guarded
-            body_guard = guarded or _has_cas_call(stmt.test)
+            body_guard = guarded or _has_cas_call(stmt.test) or (
+                isinstance(stmt.test, ast.Name)
+                and stmt.test.id in self.cas_names
+            )
             yield from self._walk_body(stmt.body, body_guard)
             yield from self._walk_body(stmt.orelse, guarded)
         elif isinstance(stmt, (ast.For, ast.AsyncFor)):
@@ -243,10 +313,22 @@ class _GuardWalker:
             yield stmt, guarded
 
 
-def _iter_accesses(func: ast.FunctionDef):
+def _cas_assigned_names(func: ast.FunctionDef) -> frozenset[str]:
+    """Local names assigned (in any branch) from a CAS-bearing expression."""
+    names: set[str] = set()
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1 \
+                and isinstance(sub.targets[0], ast.Name) \
+                and _has_cas_call(sub.value):
+            names.add(sub.targets[0].id)
+    return frozenset(names)
+
+
+def _iter_accesses(func: ast.FunctionDef,
+                   cas_names: frozenset[str] = frozenset()):
     """Yield (expr_node, guarded) pairs for every expression statement
     context in the function, with guard tracking."""
-    walker = _GuardWalker()
+    walker = _GuardWalker(cas_names)
     yield from walker.walk(func)
 
 
@@ -265,7 +347,8 @@ def _rule_r1_r2(func: _FuncInfo, path: str, issues: list[LintIssue]) -> None:
                 if attr in SHARED_OBJECT_ATTRS:
                     tainted.add(sub.targets[0].id)
 
-    for top, guarded in _iter_accesses(func.node):
+    cas_names = _cas_assigned_names(func.node)
+    for top, guarded in _iter_accesses(func.node, cas_names):
         for node in ast.walk(top):
             # R1: shared-array touches.
             attr = _self_attr(node)
@@ -390,6 +473,196 @@ def _rule_r5(func: _FuncInfo, path: str, issues: list[LintIssue]) -> None:
                   resolve(sub.target), resolve(sub.value))
 
 
+def _call_name(call: ast.Call) -> str | None:
+    """The called name: ``f(...)`` -> ``f``, ``m.f(...)`` -> ``f``."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _assigned_names(target: ast.AST) -> list[str]:
+    """Plain names bound by an assignment target (incl. tuple unpack)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_assigned_names(elt))
+        return out
+    return []
+
+
+def _unlink_names(stmts: list[ast.stmt]) -> set[str]:
+    """Names ``n`` with an ``n.unlink()`` call anywhere in ``stmts``."""
+    names: set[str] = set()
+    for stmt in stmts:
+        for sub in ast.walk(stmt):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "unlink"
+                    and isinstance(sub.func.value, ast.Name)):
+                names.add(sub.func.value.id)
+    return names
+
+
+def _rule_r6(func: _FuncInfo, path: str, issues: list[LintIssue]) -> None:
+    """Segment owners reach ``unlink()`` on all exit paths; attachers never."""
+    returned: set[str] = set()
+    with_names: set[str] = set()
+    attached: set[str] = set()
+    for sub in ast.walk(func.node):
+        if isinstance(sub, (ast.Return, ast.Yield)) and sub.value is not None:
+            for piece in ast.walk(sub.value):
+                if isinstance(piece, ast.Name):
+                    returned.add(piece.id)
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                if isinstance(item.context_expr, ast.Name):
+                    with_names.add(item.context_expr.id)
+        elif isinstance(sub, ast.Assign) and len(sub.targets) == 1 \
+                and isinstance(sub.value, ast.Call) \
+                and _call_name(sub.value) in SEGMENT_ATTACHERS:
+            attached.update(_assigned_names(sub.targets[0]))
+
+    def walk(stmts: list[ast.stmt], enclosing: set[str]) -> None:
+        for idx, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and isinstance(stmt.value, ast.Call) \
+                    and _call_name(stmt.value) in SEGMENT_CREATORS:
+                name = stmt.targets[0].id
+                protectors = set(enclosing)
+                # An immediately following try/finally (possibly nested:
+                # try-inside-try for multi-stage teardown) also counts.
+                nxt = stmts[idx + 1] if idx + 1 < len(stmts) else None
+                while isinstance(nxt, ast.Try):
+                    protectors |= _unlink_names(nxt.finalbody)
+                    nxt = nxt.body[0] if nxt.body else None
+                if not (name in protectors or name in returned
+                        or name in with_names):
+                    issues.append(LintIssue(
+                        "R6", path, stmt.lineno, stmt.col_offset,
+                        f"segment `{name}` created by "
+                        f"`{_call_name(stmt.value)}` may leak: no `with` "
+                        f"block, no `{name}.unlink()` in the finally of an "
+                        f"enclosing or immediately following try, and the "
+                        f"segment does not escape via return/yield — the "
+                        f"owner must unlink on every exit path",
+                    ))
+            if isinstance(stmt, ast.Try):
+                inner = enclosing | _unlink_names(stmt.finalbody)
+                walk(stmt.body, inner)
+                for handler in stmt.handlers:
+                    walk(handler.body, inner)
+                walk(stmt.orelse, inner)
+                walk(stmt.finalbody, enclosing)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                continue  # nested defs are analyzed as their own functions
+            else:
+                for field_ in ("body", "orelse"):
+                    sub_stmts = getattr(stmt, field_, None)
+                    if sub_stmts:
+                        walk(sub_stmts, enclosing)
+
+    walk(func.node.body, set())
+
+    if attached:
+        for sub in ast.walk(func.node):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "unlink"
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id in attached):
+                issues.append(LintIssue(
+                    "R6", path, sub.lineno, sub.col_offset,
+                    f"attacher `{sub.func.value.id}` calls `unlink()`: only "
+                    f"the creating owner unlinks a segment; attachers "
+                    f"`close()`",
+                ))
+
+
+def _rule_r7(func: _FuncInfo, path: str, issues: list[LintIssue]) -> None:
+    """No segment handle or view over one in worker-spawn ``args=``."""
+    tainted: set[str] = set()
+    for sub in ast.walk(func.node):
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1 \
+                and isinstance(sub.value, ast.Call) \
+                and _call_name(sub.value) in SEGMENT_CREATORS | \
+                SEGMENT_ATTACHERS:
+            tainted.update(_assigned_names(sub.targets[0]))
+    if not tainted:
+        return
+    # Views taken off a handle (``codes = seg["codes"]``) are tainted too.
+    grew = True
+    while grew:
+        grew = False
+        for sub in ast.walk(func.node):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1 \
+                    and isinstance(sub.targets[0], ast.Name) \
+                    and isinstance(sub.value, ast.Subscript) \
+                    and isinstance(sub.value.value, ast.Name) \
+                    and sub.value.value.id in tainted \
+                    and sub.targets[0].id not in tainted:
+                tainted.add(sub.targets[0].id)
+                grew = True
+
+    def scan(expr: ast.AST) -> None:
+        if isinstance(expr, ast.Attribute):
+            return  # projections (``seg.spec``) are the sanctioned hand-off
+        if isinstance(expr, ast.Name) and expr.id in tainted:
+            issues.append(LintIssue(
+                "R7", path, expr.lineno, expr.col_offset,
+                f"segment handle/view `{expr.id}` crosses the process "
+                f"boundary in worker args: SharedMemory handles and numpy "
+                f"views over them do not survive pickling — pass the "
+                f"`.spec` and attach in the child",
+            ))
+            return
+        for child in ast.iter_child_nodes(expr):
+            scan(child)
+
+    for sub in ast.walk(func.node):
+        if isinstance(sub, ast.Call) and _call_name(sub) in SPAWN_CALLS:
+            for kw in sub.keywords:
+                if kw.arg == "args":
+                    scan(kw.value)
+
+
+def _rule_r8(func: _FuncInfo, path: str, issues: list[LintIssue]) -> None:
+    """Protocol counters advance only via methods or under a lock."""
+    def counter_store(target: ast.AST) -> str | None:
+        if not (isinstance(target, ast.Attribute)
+                and target.attr in ("value", "_value")):
+            return None
+        base = ast.unparse(target.value)
+        if _COUNTERISH.search(base):
+            return f"{base}.{target.attr}"
+        return None
+
+    for top, guarded in _iter_accesses(func.node):
+        if guarded:
+            continue
+        for node in ast.walk(top):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                store = counter_store(target)
+                if store is not None:
+                    issues.append(LintIssue(
+                        "R8", path, node.lineno, node.col_offset,
+                        f"raw store to protocol counter `{store}` outside a "
+                        f"lock: srv/cns/prd/wrt advance only through their "
+                        f"fetch-increment/publish methods (or under the "
+                        f"queue lock) to keep the claim atomic",
+                    ))
+
+
 # -- driver ---------------------------------------------------------------------
 
 
@@ -405,14 +678,32 @@ def lint_source(source: str, path: str = "<string>") -> list[LintIssue]:
         if id(f.node) in threaded:
             _rule_r1_r2(f, path, issues)
         _rule_r5(f, path, issues)
+        _rule_r6(f, path, issues)
+        _rule_r7(f, path, issues)
+        _rule_r8(f, path, issues)
     _rule_r3_r4(tree, path, issues)
 
     kept = []
+    used: set[tuple[int, str]] = set()
     for issue in issues:
         allowed = pragmas.get(issue.line, frozenset())
         if issue.rule.upper() in allowed:
+            used.add((issue.line, issue.rule.upper()))
             continue
         kept.append(issue)
+    # R9: a pragma that suppressed nothing is stale — it documents a
+    # safety argument for code that no longer triggers the rule, and
+    # would silently swallow the next real finding on that line.  R9
+    # itself is deliberately not suppressible.
+    for line, rules in pragmas.items():
+        for rule in sorted(rules):
+            if (line, rule) not in used:
+                kept.append(LintIssue(
+                    "R9", path, line, 0,
+                    f"unused `allow[{rule}]` pragma: no {rule} issue fires "
+                    f"on this line — remove the stale pragma (it would "
+                    f"mask a future regression)",
+                ))
     kept.sort(key=lambda i: (i.path, i.line, i.col, i.rule))
     return kept
 

@@ -1,0 +1,225 @@
+"""Explicit-state model checker for the repo's concurrency protocols.
+
+The dynamic layer (:mod:`repro.checks.lockset`,
+:mod:`repro.checks.schedule`) only observes interleavings that happen
+to run; this module *enumerates* them.  A protocol is abstracted into a
+small state machine — hashable global states, guarded atomic actions —
+and :func:`check_model` walks every reachable interleaving with a
+bounded depth-first search:
+
+* **State hashing.**  States are plain hashable tuples; a visited set
+  prunes re-explored states, so the search cost is the size of the
+  reachable state space, not the (exponentially larger) number of
+  interleavings.
+* **Partial-order reduction.**  An action marked ``local=True`` only
+  advances its own process's program counter (no shared variable is
+  read or written).  When any local action is enabled, expanding *only
+  the first one* is sound: it commutes with every other enabled action,
+  so each pruned interleaving reaches the same states in a different
+  order.  The models only mark strictly-pc-advancing steps local, which
+  also guarantees the reduction cannot hide a cycle.
+* **Violations.**  Three kinds, each carrying the interleaving that
+  reached it: ``invariant`` (a state predicate failed), ``deadlock`` (a
+  non-terminal state with no enabled action — e.g. a claimer stranded
+  by a dead producer), and ``terminal`` (a completed run with a wrong
+  outcome — lost update, unconsumed partition, bad occupancy count).
+
+A :class:`Violation` renders as an interleaving script
+(:func:`render_trace`); :mod:`repro.checks.replay` turns the scripts of
+the seeded-bug corpus into :class:`~repro.checks.schedule.InterleavingScheduler`
+runs against the real table/queue code.
+
+Protocol models live in :mod:`repro.checks.protocols`; the model
+interface is duck-typed (see :class:`ProtocolModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True)
+class Action:
+    """One enabled atomic step of one process.
+
+    ``apply`` maps the current global state to the successor state; the
+    action must be *atomic* in the modeled protocol (a lock-protected
+    region, a single CAS, one counter store).  ``local=True`` asserts
+    the step touches no shared variable and strictly advances the
+    process — the partial-order reduction's commutation license.
+    """
+
+    process: str
+    name: str
+    apply: Callable[[tuple], tuple] = field(compare=False)
+    local: bool = False
+
+
+@dataclass(frozen=True)
+class Step:
+    """One entry of a counterexample trace."""
+
+    process: str
+    action: str
+
+
+@dataclass
+class Violation:
+    """A refuted invariant plus the interleaving that refutes it."""
+
+    kind: str  # "invariant" | "deadlock" | "terminal"
+    message: str
+    trace: tuple[Step, ...]
+    state: tuple
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one exhaustive (bounded) exploration."""
+
+    model_name: str
+    ok: bool
+    violation: Violation | None
+    states_explored: int
+    transitions: int
+    max_depth_seen: int
+    truncated: bool
+
+    def summary(self) -> str:
+        bound = " (bounds hit; exploration incomplete)" if self.truncated else ""
+        if self.ok:
+            return (f"{self.model_name}: verified — {self.states_explored} "
+                    f"states, {self.transitions} transitions, depth "
+                    f"{self.max_depth_seen}{bound}")
+        v = self.violation
+        assert v is not None
+        return (f"{self.model_name}: VIOLATION ({v.kind}) after "
+                f"{self.states_explored} states — {v.message}")
+
+
+class ProtocolModel:
+    """Duck-typed interface every protocol model implements.
+
+    * ``name`` — display name (protocol plus variant).
+    * ``initial()`` — the initial global state (any hashable value).
+    * ``enabled(state)`` — list of :class:`Action` enabled in ``state``.
+      A process blocked on a guard (a spinning reader, a claimer waiting
+      on ``srv``) simply contributes no action; global deadlock is then
+      "no process has an action while the run is not terminal".
+    * ``invariant(state)`` — ``None`` when the state is fine, else the
+      violation message (checked on every reached state).
+    * ``is_terminal(state)`` — the run completed (all processes done).
+    * ``terminal_check(state)`` — extra predicate on completed runs
+      (counts add up, every partition consumed); ``None`` when fine.
+    """
+
+    name = "protocol"
+
+    def initial(self) -> tuple:
+        raise NotImplementedError
+
+    def enabled(self, state: tuple) -> list[Action]:
+        raise NotImplementedError
+
+    def invariant(self, state: tuple) -> str | None:
+        return None
+
+    def is_terminal(self, state: tuple) -> bool:
+        return not self.enabled(state)
+
+    def terminal_check(self, state: tuple) -> str | None:
+        return None
+
+
+def _ample(actions: list[Action]) -> list[Action]:
+    """The partial-order reduction: one local action stands for all."""
+    for action in actions:
+        if action.local:
+            return [action]
+    return actions
+
+
+def check_model(model: ProtocolModel, max_states: int = 500_000,
+                max_depth: int = 5_000) -> CheckResult:
+    """Exhaustively explore ``model`` (bounded DFS with state hashing).
+
+    Returns the first violation found, or a verified result once the
+    reachable state space is exhausted.  ``truncated`` reports whether
+    either bound clipped the exploration (a verified-but-truncated
+    result is *not* a proof).
+    """
+    init = model.initial()
+    msg = model.invariant(init)
+    if msg is not None:
+        return CheckResult(model.name, False,
+                           Violation("invariant", msg, (), init), 1, 0, 0,
+                           False)
+    visited: set = {init}
+    stack: list[tuple[tuple, tuple[Step, ...]]] = [(init, ())]
+    transitions = 0
+    max_depth_seen = 0
+    truncated = False
+
+    while stack:
+        state, trace = stack.pop()
+        max_depth_seen = max(max_depth_seen, len(trace))
+        actions = model.enabled(state)
+        if not actions:
+            if not model.is_terminal(state):
+                return CheckResult(
+                    model.name, False,
+                    Violation("deadlock",
+                              "no process can make progress but the run is "
+                              "not complete (stranded claimer / lost wakeup)",
+                              trace, state),
+                    len(visited), transitions, max_depth_seen, truncated)
+            msg = model.terminal_check(state)
+            if msg is not None:
+                return CheckResult(
+                    model.name, False,
+                    Violation("terminal", msg, trace, state),
+                    len(visited), transitions, max_depth_seen, truncated)
+            continue
+        if len(trace) >= max_depth:
+            truncated = True
+            continue
+        for action in _ample(actions):
+            succ = action.apply(state)
+            transitions += 1
+            if succ in visited:
+                continue
+            step_trace = trace + (Step(action.process, action.name),)
+            msg = model.invariant(succ)
+            if msg is not None:
+                return CheckResult(
+                    model.name, False,
+                    Violation("invariant", msg, step_trace, succ),
+                    len(visited) + 1, transitions, max_depth_seen, truncated)
+            if len(visited) >= max_states:
+                truncated = True
+                continue
+            visited.add(succ)
+            stack.append((succ, step_trace))
+
+    return CheckResult(model.name, True, None, len(visited), transitions,
+                       max_depth_seen, truncated)
+
+
+def render_trace(trace: Iterable[Step], title: str = "") -> str:
+    """Render a counterexample as a numbered interleaving script.
+
+    The script is what :mod:`repro.checks.replay` consumes: each line is
+    "which process performs which protocol step", in global order.
+    """
+    lines = [f"interleaving{': ' + title if title else ''}"]
+    for i, step in enumerate(trace, start=1):
+        lines.append(f"  {i:3d}. {step.process}: {step.action}")
+    if len(lines) == 1:
+        lines.append("  (violated in the initial state)")
+    return "\n".join(lines)
+
+
+def steps_of(trace: Iterable[Step], action: str) -> list[str]:
+    """Processes performing ``action``, in trace order (replay helper)."""
+    return [s.process for s in trace if s.action == action]

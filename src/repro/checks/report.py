@@ -1,0 +1,47 @@
+"""Shared reporting helpers for the ``repro.checks`` CLI.
+
+Both the static layer (``lint``) and the model checker (``model``)
+report the same way: itemized findings, a per-category count summary,
+and a one-line verdict whose shape the CI greps for.  Keeping the
+formatting here means the two commands cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+
+
+def count_by(items: Iterable[T], key: Callable[[T], str]) -> dict[str, int]:
+    """Ordered ``category -> count`` over ``items``."""
+    return dict(sorted(Counter(key(item) for item in items).items()))
+
+
+def format_counts(counts: dict[str, int]) -> str:
+    """``{"R1": 2, "R6": 1}`` -> ``"R1: 2, R6: 1"``."""
+    return ", ".join(f"{k}: {n}" for k, n in counts.items())
+
+
+def verdict(tool: str, failures: int, noun: str = "issue",
+            detail: str = "") -> str:
+    """The final line: ``checks <tool>: clean`` or the failure count."""
+    if failures == 0:
+        return f"checks {tool}: clean"
+    suffix = f" ({detail})" if detail else ""
+    return f"{failures} {noun}(s){suffix}"
+
+
+def print_report(items: Iterable[T], fmt: Callable[[T], str],
+                 key: Callable[[T], str], tool: str,
+                 noun: str = "issue") -> int:
+    """Print items, a count summary, and the verdict; return exit code."""
+    listed = list(items)
+    for item in listed:
+        print(fmt(item))
+    if listed:
+        print(f"\n{verdict(tool, len(listed), noun, format_counts(count_by(listed, key)))}")
+        return 1
+    print(verdict(tool, 0, noun))
+    return 0

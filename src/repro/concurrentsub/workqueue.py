@@ -26,14 +26,60 @@ import multiprocessing as mp
 import queue as queue_mod
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from . import atomics
 from .atomics import SharedCounter
 
 
 class QueueClosed(RuntimeError):
     """Raised when taking from an input queue that finished early."""
+
+
+# -- test-only seeded bugs ------------------------------------------------------
+#
+# Broken variants of the srv/cns protocol, gated exactly like the
+# hashtable's seeded bugs: the model checker refutes their abstract
+# models (repro.checks.protocols.workqueue) and the replay layer
+# (repro.checks.replay) re-enables them here to reproduce each
+# counterexample against this real implementation.
+
+_KNOWN_QUEUE_BUGS = frozenset({"split_claim", "early_srv"})
+_SEEDED_QUEUE_BUGS: frozenset = frozenset()
+
+
+@contextmanager
+def seed_queue_bugs(*names: str):
+    """TEST ONLY: re-enable broken claim/publish variants.
+
+    ``split_claim`` — the consumer claim becomes a read of ``cns``
+    followed by a separate increment instead of one fetch-increment:
+    two claimers can read the same ticket (double-consume; the
+    ``workqueue[split_claim]`` model variant).
+
+    ``early_srv`` — the producer advances ``srv`` *before* storing the
+    slot: a claim can reserve a partition that is not there yet (the
+    ``workqueue[early_srv]`` model variant).
+    """
+    unknown = set(names) - _KNOWN_QUEUE_BUGS
+    if unknown:
+        raise ValueError(f"unknown seeded queue bugs: {sorted(unknown)}")
+    global _SEEDED_QUEUE_BUGS
+    previous = _SEEDED_QUEUE_BUGS
+    _SEEDED_QUEUE_BUGS = frozenset(previous | set(names))
+    try:
+        yield
+    finally:
+        _SEEDED_QUEUE_BUGS = previous
+
+
+def _mon_event(name: str, index: int | None = None, value=None) -> None:
+    """Report a named control point to the installed monitor, if any."""
+    m = atomics.monitor()
+    if m is not None:
+        m.event(name, index, value)
 
 
 class InputQueue:
@@ -57,13 +103,31 @@ class InputQueue:
         index = self.srv.value
         if index >= self.n_items:
             raise IndexError("publish beyond declared n_items")
+        if "early_srv" in _SEEDED_QUEUE_BUGS:
+            # Corpus bug (workqueue[early_srv]): srv advances before the
+            # slot store, so a consumer whose take() is released by srv
+            # reads a slot that is still empty.  The ``early_srv`` point
+            # lets the replay scheduler park the producer in the gap.
+            self.srv.increment()
+            _mon_event("early_srv", index)
+            self._slots[index] = item
+            return index
         self._slots[index] = item
         self.srv.increment()
         return index
 
     def try_claim(self) -> int | None:
         """Consumer: take a queuing id, or ``None`` when all are claimed."""
-        ticket = self.cns.fetch_increment()
+        if "split_claim" in _SEEDED_QUEUE_BUGS:
+            # Corpus bug (workqueue[split_claim]): the claim reads cns
+            # and increments it as two separate steps — two claimers
+            # that interleave at the ``claim_rmw`` point read the same
+            # ticket and double-consume the partition.
+            ticket = self.cns.value
+            _mon_event("claim_rmw", ticket)
+            self.cns.increment()
+        else:
+            ticket = self.cns.fetch_increment()
         if ticket >= self.n_items:
             return None
         return ticket

@@ -80,7 +80,7 @@ SPIN_LIMIT = 64
 # in this file (PR 1) to prove the detector catches them.  Each name
 # gates the *old* faulty code path; production code never enables them.
 
-_KNOWN_BUGS = frozenset({"shared_stats", "numpy_publish"})
+_KNOWN_BUGS = frozenset({"shared_stats", "numpy_publish", "tas_claim"})
 _SEEDED_BUGS: frozenset = frozenset()
 
 
@@ -97,6 +97,12 @@ def seed_bugs(*names: str):
     the numpy ``state`` mirror and route ``lookup`` through that mirror
     (un-synchronized read while threads run; flagged by the lockset
     detector, reproduced by the interleaving scheduler).
+
+    ``tas_claim`` — replace the slot claim's CAS with a load-then-store
+    test-and-set: two threads can both observe EMPTY before either
+    stores LOCKED, so both enter the exclusive key-write window (the
+    ``insert[tas_claim]`` variant of ``repro.checks.model``, reproduced
+    deterministically via the ``tas_gap`` control point).
     """
     unknown = set(names) - _KNOWN_BUGS
     if unknown:
@@ -463,7 +469,19 @@ class ConcurrentHashTable:
             pos = (h + offset) & (self.capacity - 1)
             st = atomic.load(pos)
             if st == EMPTY:
-                if atomic.compare_and_swap(pos, EMPTY, LOCKED):
+                if "tas_claim" in _SEEDED_BUGS:
+                    # Corpus bug (repro.checks.model insert[tas_claim]):
+                    # the claim is a load-then-store test-and-set — the
+                    # EMPTY load above is the test, and this store does
+                    # not re-check it.  The gap between them is the
+                    # window the model checker refutes and the replay
+                    # scheduler holds open via the ``tas_gap`` point.
+                    _mon_event("tas_gap", pos)
+                    atomic.store(pos, LOCKED)
+                    won = True
+                else:
+                    won = atomic.compare_and_swap(pos, EMPTY, LOCKED)
+                if won:
                     # Exclusive writer: the key is written exactly once,
                     # inside the LOCKED->OCCUPIED window.
                     _trace("keys", id(self), pos, "write")
@@ -562,7 +580,7 @@ class ConcurrentHashTable:
         if atomic is not None and "numpy_publish" not in _SEEDED_BUGS:
             return atomic.load(pos)
         _trace("state", id(self), pos, "read")
-        return int(self.state[pos])
+        return int(self.state[pos])  # checks: allow[R1] single-threaded or seeded-bug mirror read (atomic path taken while threads run)
 
     def _state_view(self) -> np.ndarray:
         """All occupancy flags; authoritative in either mode.
@@ -589,7 +607,7 @@ class ConcurrentHashTable:
             if st == EMPTY:
                 return None
             if st == OCCUPIED and int(self.keys[pos]) == int(kmer):  # checks: allow[R1] immutable after OCCUPIED publication
-                return self.counts[pos].copy()
+                return self.counts[pos].copy()  # checks: allow[R1] racy snapshot of monotonic counters
         return None
 
     def to_graph(self) -> DeBruijnGraph:

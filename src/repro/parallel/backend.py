@@ -275,7 +275,7 @@ class _PipelineMerger:
         reports = [self.reports[w] for w in range(self.n_workers)]
         self.n_superkmers = sum(r["n_superkmers"] for r in reports)
         for r in reports:
-            self.kmers_per_partition += np.asarray(
+            self.kmers_per_partition += np.asarray(  # checks: allow[R2] merger state touched only by the parent's event thread
                 r["kmers_per_partition"], dtype=np.int64
             )
         groups = spill_groups([r["spills"] for r in reports],
@@ -301,13 +301,13 @@ class _PipelineMerger:
                     t_io = time.perf_counter()
                     dest = Path(self.workdir) / f"partition_{part:04d}.phsk"
                     concat_partition_files(dest, sources, k=cfg.k)
-                    self.io_seconds += time.perf_counter() - t_io
+                    self.io_seconds += time.perf_counter() - t_io  # checks: allow[R2] merger state touched only by the parent's event thread
                     sources = [dest]
                     merged_bytes += os.path.getsize(dest)
                 capacity = next_power_of_two(max(2, cfg.sizing.capacity_for(
                     max(1, int(self.kmers_per_partition[part]))
                 )))
-                seg = create_table_segment(capacity, cfg.k)
+                seg = create_table_segment(capacity, cfg.k)  # checks: allow[R6] ownership moves to self.segments; unlink_segments() runs in the pipeline teardown
                 self.segments[part] = seg
                 self.ready.publish(_Step2Job(
                     partition=part, k=cfg.k, table_spec=seg.spec,
@@ -324,7 +324,7 @@ class _PipelineMerger:
                     dest = Path(self.workdir) / f"partition_{part:04d}.phsk"
                     concat_partition_files(dest, groups[part], k=cfg.k)
                     merged_bytes += os.path.getsize(dest)
-                self.io_seconds += time.perf_counter() - t_io
+                self.io_seconds += time.perf_counter() - t_io  # checks: allow[R2] merger state touched only by the parent's event thread
                 self.partition_bytes = merged_bytes
         finally:
             self.ready.close()
@@ -699,12 +699,15 @@ def concurrent_insert_processes(
         raise ValueError("n_workers must be >= 1")
     ctx = default_context()
     cap = next_power_of_two(max(2, capacity))
-    table_seg = create_table_segment(cap, k)
-    flags_seg = create_segment([("flags", (cap,), "int64")])
-    state_locks = create_lock_bundle(ctx, n_stripes)
-    count_locks = create_lock_bundle(ctx, n_stripes)
-    bounds = np.linspace(0, kmers.size, n_workers + 1).astype(int).tolist()
-    try:
+    # Each `with` owns its segment from the moment of creation: if the
+    # flags segment or a lock bundle fails to build, the table segment
+    # is already inside its context and still unlinks (no shm leak on
+    # partially-constructed runs).
+    with create_table_segment(cap, k) as table_seg, \
+            create_segment([("flags", (cap,), "int64")]) as flags_seg:
+        state_locks = create_lock_bundle(ctx, n_stripes)
+        count_locks = create_lock_bundle(ctx, n_stripes)
+        bounds = np.linspace(0, kmers.size, n_workers + 1).astype(int).tolist()
         stats = run_workers(
             _cas_worker, n_workers, ctx=ctx,
             args=(table_seg.spec, flags_seg.spec, state_locks, count_locks,
@@ -717,9 +720,6 @@ def concurrent_insert_processes(
         graph = table.to_graph()
         table.detach_views()
         return graph, stats
-    finally:
-        table_seg.unlink()
-        flags_seg.unlink()
 
 
 def _cas_worker(worker_id: int, table_spec: SegmentSpec,

@@ -166,9 +166,19 @@ def attach_segment(spec: SegmentSpec) -> SharedSegment:
 
 
 def share_read_batch(batch) -> SharedSegment:
-    """Copy a :class:`~repro.dna.reads.ReadBatch` into shared memory."""
+    """Copy a :class:`~repro.dna.reads.ReadBatch` into shared memory.
+
+    Ownership of the segment transfers to the caller on success; if the
+    copy itself fails (e.g. a dtype/shape surprise mid-write) the
+    half-filled segment is unlinked here rather than leaked — the
+    caller never learns its name, so nobody else could.
+    """
     seg = create_segment([("codes", batch.codes.shape, "uint8")])
-    seg["codes"][:] = batch.codes
+    try:
+        seg["codes"][:] = batch.codes
+    except BaseException:
+        seg.unlink()
+        raise
     return seg
 
 

@@ -83,12 +83,14 @@ class TestR1SharedArrayAccess:
         assert lint_source(src, "table.py") == []
 
     def test_pragma_is_rule_specific(self):
+        # The wrong-rule pragma doesn't suppress R1 — and since it
+        # suppresses nothing at all, R9 flags it as stale.
         src = (
             "class T:\n"
             "    def insert_one_threadsafe(self, k, s):\n"
             "        x = self.keys[0]  # checks: allow[R3] wrong rule\n"
         )
-        assert rules_of(lint_source(src, "table.py")) == {"R1"}
+        assert rules_of(lint_source(src, "table.py")) == {"R1", "R9"}
 
 
 class TestR2SharedAugAssign:
@@ -223,6 +225,174 @@ class TestR5DtypePromotion:
             "    return keys * step\n"
         )
         assert rules_of(lint_source(src, "anyfile.py")) == {"R5"}
+
+
+class TestR6SegmentLifecycle:
+    def test_creator_without_unlink_flagged(self):
+        src = (
+            "def run():\n"
+            "    seg = create_segment([('x', (4,), 'int8')])\n"
+            "    seg['x'][:] = 1\n"
+        )
+        issues = lint_source(src, "backend.py")
+        assert rules_of(issues) == {"R6"}
+        assert issues[0].line == 2
+
+    def test_try_finally_unlink_clean(self):
+        src = (
+            "def run():\n"
+            "    seg = create_segment([('x', (4,), 'int8')])\n"
+            "    try:\n"
+            "        seg['x'][:] = 1\n"
+            "    finally:\n"
+            "        seg.unlink()\n"
+        )
+        assert lint_source(src, "backend.py") == []
+
+    def test_with_statement_clean(self):
+        src = (
+            "def run():\n"
+            "    with create_table_segment(64, 15) as seg:\n"
+            "        seg['state'][:] = 0\n"
+        )
+        assert lint_source(src, "backend.py") == []
+
+    def test_returned_segment_is_ownership_transfer(self):
+        src = (
+            "def make():\n"
+            "    seg = create_segment([('x', (4,), 'int8')])\n"
+            "    return seg\n"
+        )
+        assert lint_source(src, "backend.py") == []
+
+    def test_gap_before_try_flagged(self):
+        # The shape of the leak this PR fixed: the first create sits
+        # *outside* the try/finally that unlinks, so a failure in the
+        # second create orphans it.
+        src = (
+            "def run():\n"
+            "    a = create_segment([('x', (4,), 'int8')])\n"
+            "    b = create_segment([('y', (4,), 'int8')])\n"
+            "    try:\n"
+            "        pass\n"
+            "    finally:\n"
+            "        a.unlink()\n"
+            "        b.unlink()\n"
+        )
+        issues = lint_source(src, "backend.py")
+        assert [(i.rule, i.line) for i in issues] == [("R6", 2)]
+
+    def test_attacher_unlink_flagged(self):
+        src = (
+            "def worker(spec):\n"
+            "    seg = attach_segment(spec)\n"
+            "    try:\n"
+            "        pass\n"
+            "    finally:\n"
+            "        seg.unlink()\n"
+        )
+        issues = lint_source(src, "worker.py")
+        assert "R6" in rules_of(issues)
+        assert any("attach" in i.message or "unlink" in i.message
+                   for i in issues)
+
+
+class TestR7PickleHazard:
+    def test_segment_handle_in_worker_args_flagged(self):
+        src = (
+            "def run(ctx):\n"
+            "    seg = create_segment([('x', (4,), 'int8')])\n"
+            "    try:\n"
+            "        run_workers(work, 2, ctx=ctx, args=(seg,))\n"
+            "    finally:\n"
+            "        seg.unlink()\n"
+        )
+        assert rules_of(lint_source(src, "backend.py")) == {"R7"}
+
+    def test_numpy_view_in_worker_args_flagged(self):
+        src = (
+            "def run(ctx):\n"
+            "    seg = create_segment([('x', (4,), 'int8')])\n"
+            "    try:\n"
+            "        view = seg['x']\n"
+            "        run_workers(work, 2, ctx=ctx, args=(view,))\n"
+            "    finally:\n"
+            "        seg.unlink()\n"
+        )
+        assert rules_of(lint_source(src, "backend.py")) == {"R7"}
+
+    def test_spec_in_worker_args_clean(self):
+        src = (
+            "def run(ctx):\n"
+            "    seg = create_segment([('x', (4,), 'int8')])\n"
+            "    try:\n"
+            "        run_workers(work, 2, ctx=ctx, args=(seg.spec,))\n"
+            "    finally:\n"
+            "        seg.unlink()\n"
+        )
+        assert lint_source(src, "backend.py") == []
+
+
+class TestR8CounterDiscipline:
+    def test_raw_counter_store_flagged(self):
+        src = (
+            "def hand_off(self):\n"
+            "    self.srv.value = 5\n"
+        )
+        assert rules_of(lint_source(src, "queue.py")) == {"R8"}
+
+    def test_fetch_increment_clean(self):
+        src = (
+            "def hand_off(self):\n"
+            "    ticket = self.cns.fetch_increment()\n"
+            "    self.srv.increment()\n"
+            "    return ticket\n"
+        )
+        assert lint_source(src, "queue.py") == []
+
+    def test_locked_store_clean(self):
+        src = (
+            "def reset(self):\n"
+            "    with self._lock:\n"
+            "        self.srv._value.value = 0\n"
+        )
+        assert lint_source(src, "queue.py") == []
+
+    def test_unrelated_value_attr_clean(self):
+        src = (
+            "def set_flag(self):\n"
+            "    self.mode.value = 3\n"
+        )
+        assert lint_source(src, "queue.py") == []
+
+
+class TestR9StalePragma:
+    def test_stale_pragma_flagged(self):
+        src = (
+            "def f():\n"
+            "    x = 1  # checks: allow[R3] nothing here needs this\n"
+            "    return x\n"
+        )
+        issues = lint_source(src, "anyfile.py")
+        assert rules_of(issues) == {"R9"}
+        assert issues[0].line == 2
+
+    def test_used_pragma_not_flagged(self):
+        src = (
+            "def setup(table):\n"
+            "    table._atomic_state.raw()[:] = 0"
+            "  # checks: allow[R3] single-threaded init\n"
+        )
+        assert lint_source(src, "anyfile.py") == []
+
+    def test_pragma_in_string_literal_ignored(self):
+        # Only real comments are pragmas; documentation that *mentions*
+        # the syntax must neither suppress nor count as stale.
+        src = (
+            "def f():\n"
+            "    return 'use # checks: allow[R3] to annotate'\n"
+        )
+        assert lint_source(src, "anyfile.py") == []
 
 
 class TestRealTree:
