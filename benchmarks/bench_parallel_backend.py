@@ -11,6 +11,13 @@ Standalone usage (what the ``bench-smoke`` CI job runs)::
     python benchmarks/bench_parallel_backend.py --smoke \
         --output BENCH_parallel.json --check benchmarks/baselines.json
 
+``--k 45`` (any k > 31) switches to the two-word big-k sweep: a smaller
+input (two-word tables double the key traffic), ``bigk_processes``
+baselines entry, ``BENCH_bigk.json`` artifact::
+
+    python benchmarks/bench_parallel_backend.py --smoke --k 45 \
+        --output BENCH_bigk.json --check benchmarks/baselines.json
+
 ``--check`` compares the measured speedup at the baseline's worker
 count against a **core-count-aware** threshold::
 
@@ -56,7 +63,15 @@ SMOKE_SCALE = 1.0
 FULL_SCALE = 4.0
 
 
+#: Dataset scale for the big-k (k > 31) sweep: two-word tables double
+#: the key traffic, so the gate runs on a smaller input to stay within
+#: the CI smoke budget (still large enough to amortize process spawn).
+BIGK_SCALE = 0.5
+
+
 def _graphs_equal(a, b) -> bool:
+    if hasattr(a, "equals"):  # BigDeBruijnGraph (k > 31)
+        return a.equals(b)
     return (
         a.k == b.k
         and np.array_equal(a.vertices, b.vertices)
@@ -77,13 +92,22 @@ def _time_build(config: ParaHashConfig, reads, repeats: int):
 
 
 def measure(smoke: bool = True, repeats: int = 2,
-            workers: list[int] | None = None) -> dict:
-    """Run the sweep and return the BENCH_parallel.json payload."""
-    scale = SMOKE_SCALE if smoke else FULL_SCALE
+            workers: list[int] | None = None, k: int = 27) -> dict:
+    """Run the sweep and return the BENCH_parallel.json payload.
+
+    With ``k > 31`` the sweep exercises the two-word shm tables on a
+    smaller input (``BIGK_SCALE``) and reports under the
+    ``bigk_processes`` benchmark name.
+    """
+    bigk = k > 31
+    scale = BIGK_SCALE if bigk else (SMOKE_SCALE if smoke else FULL_SCALE)
     workers = workers or (SMOKE_WORKERS if smoke else FULL_WORKERS)
     profile = HUMAN_CHR14_LIKE.scaled(scale)
     reads = profile.generate_reads()
-    config = ParaHashConfig(k=27, p=11, n_partitions=32, n_input_pieces=8)
+    if bigk:
+        config = ParaHashConfig(k=k, p=15, n_partitions=16, n_input_pieces=8)
+    else:
+        config = ParaHashConfig(k=k, p=11, n_partitions=32, n_input_pieces=8)
 
     serial_seconds, serial_graph = _time_build(config, reads, repeats)
     runs = []
@@ -101,7 +125,7 @@ def measure(smoke: bool = True, repeats: int = 2,
             "speedup": round(serial_seconds / seconds, 4),
         })
     return {
-        "benchmark": "parallel_backend",
+        "benchmark": "bigk_processes" if bigk else "parallel_backend",
         "mode": "smoke" if smoke else "full",
         "cpu_count": os.cpu_count() or 1,
         "dataset": {
@@ -130,7 +154,7 @@ def check_against_baseline(report: dict, baseline_path: str | Path) -> list[str]
     docstring for the core-count-aware threshold formula.
     """
     baselines = json.loads(Path(baseline_path).read_text())
-    spec = baselines["parallel_backend"]
+    spec = baselines[report["benchmark"]]
     gate_workers = int(spec["workers"])
     by_workers = {run["workers"]: run for run in report["runs"]}
     violations: list[str] = []
@@ -161,6 +185,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--smoke", action="store_true",
                         help="small dataset + short sweep (the CI gate)")
+    parser.add_argument("--k", type=int, default=27,
+                        help="kmer length; k > 31 runs the two-word "
+                             "(big-k) sweep on a smaller input")
     parser.add_argument("--repeats", type=int, default=2,
                         help="timing repeats (best-of)")
     parser.add_argument("--output", default="BENCH_parallel.json",
@@ -170,7 +197,7 @@ def main(argv: list[str] | None = None) -> int:
                              "regression")
     args = parser.parse_args(argv)
 
-    report = measure(smoke=args.smoke, repeats=args.repeats)
+    report = measure(smoke=args.smoke, repeats=args.repeats, k=args.k)
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"serial: {report['serial_seconds']:.3f}s "
           f"({report['n_vertices']:,} vertices)")

@@ -16,6 +16,7 @@ from .construct import (
     build_subgraph_2w_sortmerge,
     flat_kmers_2w,
     merge_bigk_disjoint,
+    preaggregate_observations_2w,
 )
 from .kmer2w import (
     LO_BASES,
@@ -28,8 +29,18 @@ from .kmer2w import (
     revcomp2w,
     split_int,
 )
-from .serialize import detect_graph_format, load_big_graph, save_big_graph
-from .store import BigDeBruijnGraph, build_reference_bigk_slow, graph_from_plane_pairs
+from .serialize import (
+    detect_graph_format,
+    load_big_graph,
+    save_big_graph,
+    save_big_subgraphs,
+)
+from .store import (
+    BigDeBruijnGraph,
+    build_reference_bigk_slow,
+    empty_bigk_graph,
+    graph_from_plane_pairs,
+)
 from .table import TwoWordHashTable, hash_planes, hash_planes_int
 
 __all__ = [
@@ -46,9 +57,12 @@ __all__ = [
     "canonical2w_with_flip",
     "compact_unitigs_bigk",
     "detect_graph_format",
+    "empty_bigk_graph",
     "flat_kmers_2w",
     "load_big_graph",
+    "preaggregate_observations_2w",
     "save_big_graph",
+    "save_big_subgraphs",
     "graph_from_plane_pairs",
     "hash_planes",
     "hash_planes_int",

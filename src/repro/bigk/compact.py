@@ -17,7 +17,7 @@ class _IntVertexView:
 
     def __init__(self, graph: BigDeBruijnGraph) -> None:
         self.k = graph.k
-        self.counts = graph.counts
+        self.counts = graph.counts  # checks: allow[R1] immutable result store: reads a finished graph's counters
         self.n_vertices = graph.n_vertices
         self.vertices = [graph.vertex_int(i) for i in range(graph.n_vertices)]
 

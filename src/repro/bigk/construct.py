@@ -96,6 +96,37 @@ def block_observations_2w(
     return out_hi, out_lo, out_slots
 
 
+def preaggregate_observations_2w(
+    hi: np.ndarray, lo: np.ndarray, slots: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse duplicate ``(hi, lo, slot)`` triples into counted triples.
+
+    The two-word twin of
+    :func:`repro.core.subgraph.preaggregate_observations`: lexsort by
+    ``(hi, lo, slot)`` and run-length-encode the boundaries, so each
+    distinct (vertex, slot) pair pays a single probe walk in
+    :meth:`TwoWordHashTable.insert_batch` regardless of its
+    multiplicity.  Returns ``(hi, lo, slots, counts)``.
+    """
+    hi = np.ascontiguousarray(hi, dtype=np.uint64).ravel()
+    lo = np.ascontiguousarray(lo, dtype=np.uint64).ravel()
+    slots = np.ascontiguousarray(slots, dtype=np.int64).ravel()
+    if not (hi.shape == lo.shape == slots.shape):
+        raise ValueError("hi, lo and slots must be parallel arrays")
+    if hi.size == 0:
+        return hi, lo, slots, np.zeros(0, dtype=np.int64)
+    order = np.lexsort((slots, lo, hi))
+    shi, slo, ss = hi[order], lo[order], slots[order]
+    boundary = np.ones(shi.size, dtype=bool)
+    boundary[1:] = (
+        (shi[1:] != shi[:-1]) | (slo[1:] != slo[:-1]) | (ss[1:] != ss[:-1])
+    )
+    starts = np.nonzero(boundary)[0]
+    ends = np.concatenate([starts[1:], [shi.size]])
+    counts = (ends - starts).astype(np.int64)
+    return shi[starts], slo[starts], ss[starts], counts
+
+
 @dataclass
 class BigKSubgraphResult:
     graph: BigDeBruijnGraph
@@ -105,18 +136,21 @@ class BigKSubgraphResult:
 
 def build_subgraph_2w(
     block: SuperkmerBlock, policy: SizingPolicy | None = None,
-    allow_regrow: bool = True,
+    allow_regrow: bool = True, preaggregate: bool = False,
 ) -> BigKSubgraphResult:
     """One subgraph through the two-word concurrent hash table."""
     policy = policy or SizingPolicy()
     n_kmers = block.total_kmers()
     capacity = policy.capacity_for(max(1, n_kmers))
     hi, lo, slots = block_observations_2w(block)
+    counts = None
+    if preaggregate:
+        hi, lo, slots, counts = preaggregate_observations_2w(hi, lo, slots)
     n_regrow_cap = policy.capacity_for(max(1, n_kmers)) * 64
     while True:
         table = TwoWordHashTable(capacity, block.k)
         try:
-            table.insert_batch(hi, lo, slots)
+            table.insert_batch(hi, lo, slots, counts=counts)
             break
         except TableFullError:
             if not allow_regrow or capacity > n_regrow_cap:
@@ -132,16 +166,19 @@ def build_subgraph_2w_sortmerge(block: SuperkmerBlock) -> BigDeBruijnGraph:
     return graph_from_plane_pairs(block.k, hi, lo, slots)
 
 
-def merge_bigk_disjoint(subgraphs: list[BigDeBruijnGraph]) -> BigDeBruijnGraph:
-    """Union of vertex-disjoint big-K subgraphs."""
+def merge_bigk_disjoint(
+    subgraphs: list[BigDeBruijnGraph], k: int | None = None
+) -> BigDeBruijnGraph:
+    """Union of vertex-disjoint big-K subgraphs.
+
+    ``k`` pins the k of an all-empty merge (defaults to 33 for
+    backwards compatibility when no subgraph carries one).
+    """
     subgraphs = [g for g in subgraphs if g.n_vertices]
     if not subgraphs:
-        return BigDeBruijnGraph(
-            k=33,
-            vertices_hi=np.zeros(0, dtype=np.uint64),
-            vertices_lo=np.zeros(0, dtype=np.uint64),
-            counts=np.zeros((0, N_SLOTS), dtype=np.uint64),
-        )
+        from .store import empty_bigk_graph
+
+        return empty_bigk_graph(33 if k is None else k)
     k = subgraphs[0].k
     if any(g.k != k for g in subgraphs):
         raise ValueError("cannot merge graphs with different k")
@@ -160,6 +197,7 @@ def merge_bigk_disjoint(subgraphs: list[BigDeBruijnGraph]) -> BigDeBruijnGraph:
 def build_debruijn_graph_bigk(
     reads: ReadBatch, k: int, p: int = 15, n_partitions: int = 16,
     policy: SizingPolicy | None = None, n_threads: int = 1,
+    preaggregate: bool = False,
 ) -> BigDeBruijnGraph:
     """Full big-K pipeline: MSP partitioning + two-word hashing + merge.
 
@@ -178,8 +216,8 @@ def build_debruijn_graph_bigk(
         from ..concurrentsub.workqueue import run_coprocessed
 
         workers = {
-            f"cpu{t}": (lambda block: build_subgraph_2w(block,
-                                                        policy=policy).graph)
+            f"cpu{t}": (lambda block: build_subgraph_2w(
+                block, policy=policy, preaggregate=preaggregate).graph)
             for t in range(n_threads)
         }
         subgraphs, _ = run_coprocessed(
@@ -187,7 +225,8 @@ def build_debruijn_graph_bigk(
         )
     else:
         subgraphs = [
-            build_subgraph_2w(block, policy=policy).graph
+            build_subgraph_2w(block, policy=policy,
+                              preaggregate=preaggregate).graph
             for block in nonempty
         ]
-    return merge_bigk_disjoint(subgraphs)
+    return merge_bigk_disjoint(subgraphs, k=k)

@@ -29,11 +29,11 @@ class BigDeBruijnGraph:
     def __post_init__(self) -> None:
         self.vertices_hi = np.asarray(self.vertices_hi, dtype=np.uint64)
         self.vertices_lo = np.asarray(self.vertices_lo, dtype=np.uint64)
-        self.counts = np.asarray(self.counts, dtype=np.uint64)
+        self.counts = np.asarray(self.counts, dtype=np.uint64)  # checks: allow[R1] immutable result store: graphs are built once, then only read
         n = self.vertices_hi.size
         if self.vertices_lo.shape != (n,):
             raise ValueError("plane arrays must be parallel")
-        if self.counts.shape != (n, N_SLOTS):
+        if self.counts.shape != (n, N_SLOTS):  # checks: allow[R1] immutable result store: graphs are built once, then only read
             raise ValueError(f"counts must be ({n}, {N_SLOTS})")
         if n > 1:
             hi, lo = self.vertices_hi, self.vertices_lo
@@ -49,13 +49,13 @@ class BigDeBruijnGraph:
         return self.n_vertices
 
     def total_kmer_instances(self) -> int:
-        return int(self.counts[:, MULT_SLOT].sum())
+        return int(self.counts[:, MULT_SLOT].sum())  # checks: allow[R1] immutable result store: graphs are built once, then only read
 
     def n_duplicate_vertices(self) -> int:
         return self.total_kmer_instances() - self.n_vertices
 
     def total_edge_weight(self) -> int:
-        return int(self.counts[:, :MULT_SLOT].sum())
+        return int(self.counts[:, :MULT_SLOT].sum())  # checks: allow[R1] immutable result store: graphs are built once, then only read
 
     def index_of(self, kmer: int) -> int:
         """Row of a canonical kmer (Python int), or -1."""
@@ -75,7 +75,7 @@ class BigDeBruijnGraph:
 
     def multiplicity(self, kmer: int) -> int:
         i = self.index_of(kmer)
-        return int(self.counts[i, MULT_SLOT]) if i >= 0 else 0
+        return int(self.counts[i, MULT_SLOT]) if i >= 0 else 0  # checks: allow[R1] immutable result store: graphs are built once, then only read
 
     def vertex_int(self, i: int) -> int:
         """Vertex row ``i`` as a Python-int kmer."""
@@ -99,7 +99,7 @@ class BigDeBruijnGraph:
         base_slot = 0 if out_side else 4
         result = []
         for b in range(4):
-            weight = int(self.counts[i, base_slot + b])
+            weight = int(self.counts[i, base_slot + b])  # checks: allow[R1] immutable result store: graphs are built once, then only read
             if not weight:
                 continue
             if out_side:
@@ -114,7 +114,7 @@ class BigDeBruijnGraph:
             self.k == other.k
             and bool(np.array_equal(self.vertices_hi, other.vertices_hi))
             and bool(np.array_equal(self.vertices_lo, other.vertices_lo))
-            and bool(np.array_equal(self.counts, other.counts))
+            and bool(np.array_equal(self.counts, other.counts))  # checks: allow[R1] immutable result store: graphs are built once, then only read
         )
 
     def describe(self) -> dict:
@@ -124,6 +124,16 @@ class BigDeBruijnGraph:
             "n_duplicates": self.n_duplicate_vertices(),
             "total_edge_weight": self.total_edge_weight(),
         }
+
+
+def empty_bigk_graph(k: int) -> BigDeBruijnGraph:
+    """A zero-vertex two-word graph pinned to ``k``."""
+    return BigDeBruijnGraph(
+        k=k,
+        vertices_hi=np.zeros(0, dtype=np.uint64),
+        vertices_lo=np.zeros(0, dtype=np.uint64),
+        counts=np.zeros((0, N_SLOTS), dtype=np.uint64),
+    )
 
 
 def graph_from_plane_pairs(

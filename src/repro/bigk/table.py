@@ -52,10 +52,10 @@ class TwoWordHashTable:
         self.capacity = next_power_of_two(max(2, capacity))
         self._mask = np.uint64(self.capacity - 1)
         self.k = k
-        self.state = np.zeros(self.capacity, dtype=np.int8)
-        self.keys_hi = np.zeros(self.capacity, dtype=np.uint64)
-        self.keys_lo = np.zeros(self.capacity, dtype=np.uint64)
-        self.counts = np.zeros((self.capacity, N_SLOTS), dtype=np.uint32)
+        self.state = np.zeros(self.capacity, dtype=np.int8)  # checks: allow[R1] construction: arrays are private until the table is shared
+        self.keys_hi = np.zeros(self.capacity, dtype=np.uint64)  # checks: allow[R1] construction: arrays are private until the table is shared
+        self.keys_lo = np.zeros(self.capacity, dtype=np.uint64)  # checks: allow[R1] construction: arrays are private until the table is shared
+        self.counts = np.zeros((self.capacity, N_SLOTS), dtype=np.uint32)  # checks: allow[R1] construction: arrays are private until the table is shared
         self.n_occupied = 0
         self._init_runtime()
 
@@ -104,7 +104,7 @@ class TwoWordHashTable:
 
     def detach_views(self) -> None:
         """Release array references before the owning segment closes."""
-        self.state = self.keys_hi = self.keys_lo = self.counts = None  # type: ignore[assignment]
+        self.state = self.keys_hi = self.keys_lo = self.counts = None  # type: ignore[assignment]  # checks: allow[R1] teardown: runs after every worker detached
         self._atomic_state = None
 
     @property
@@ -113,33 +113,54 @@ class TwoWordHashTable:
 
     def memory_bytes(self) -> int:
         return int(
-            self.state.nbytes + self.keys_hi.nbytes + self.keys_lo.nbytes
-            + self.counts.nbytes
+            self.state.nbytes + self.keys_hi.nbytes + self.keys_lo.nbytes  # checks: allow[R1] size metadata only, no element access
+            + self.counts.nbytes  # checks: allow[R1] size metadata only, no element access
         )
 
     # -- vectorized batch path -------------------------------------------------
 
     def insert_batch(self, hi: np.ndarray, lo: np.ndarray, slots: np.ndarray,
+                     counts: np.ndarray | None = None,
                      chunk: int = 1 << 20) -> None:
-        """Apply ``(hi, lo, slot)`` observations, vectorized."""
+        """Apply ``(hi, lo, slot)`` observations, vectorized.
+
+        With ``counts`` given (the pre-aggregation path of
+        :func:`repro.bigk.construct.preaggregate_observations_2w`) each
+        ``(hi, lo, slot)`` triple carries a multiplicity: the counter is
+        bumped by ``counts[i]`` in one touch while the stats are metered
+        for the individual observations the un-aggregated concurrent
+        protocol would have executed, exactly as the one-word
+        :meth:`repro.core.hashtable.ConcurrentHashTable.insert_batch`
+        does — ``HashStats.lock_reduction`` is unchanged by aggregation.
+        """
         hi = np.ascontiguousarray(hi, dtype=np.uint64).ravel()
         lo = np.ascontiguousarray(lo, dtype=np.uint64).ravel()
         slots = np.ascontiguousarray(slots, dtype=np.int64).ravel()
         if not (hi.shape == lo.shape == slots.shape):
             raise ValueError("hi, lo and slots must be parallel arrays")
+        if counts is not None:
+            counts = np.ascontiguousarray(counts, dtype=np.int64).ravel()
+            if counts.shape != hi.shape:
+                raise ValueError("counts must parallel hi, lo and slots")
+            if counts.size and int(counts.min()) < 1:
+                raise ValueError("every aggregated count must be >= 1")
         for start in range(0, hi.size, chunk):
-            self._insert_chunk(hi[start:start + chunk], lo[start:start + chunk],
-                               slots[start:start + chunk])
+            self._insert_chunk(
+                hi[start:start + chunk], lo[start:start + chunk],
+                slots[start:start + chunk],
+                None if counts is None else counts[start:start + chunk],
+            )
         if self._atomic_state is not None:
             # Keep threaded-mode flags in sync when a quiescent table
             # mixes batch and threaded insertions.
-            self._atomic_state.raw()[:] = self.state  # checks: allow[R3] single-threaded resync
+            self._atomic_state.raw()[:] = self.state  # checks: allow[R1,R3] single-threaded resync
 
-    def _insert_chunk(self, hi, lo, slots) -> None:
+    def _insert_chunk(self, hi, lo, slots, weights=None) -> None:
         stats = self.stats
         n = hi.size
-        stats.ops += n
-        stats.count_increments += n
+        n_ops = n if weights is None else int(weights.sum())
+        stats.ops += n_ops  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+        stats.count_increments += n_ops  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
         home = hash_planes(hi, lo) & self._mask
         pending = np.arange(n, dtype=np.int64)
         offset = np.zeros(n, dtype=np.uint64)
@@ -151,15 +172,21 @@ class TwoWordHashTable:
                     f"probe wrapped a table of capacity {self.capacity}"
                 )
             pos = (home[pending] + offset[pending]) & self._mask
-            st = self.state[pos]
+            st = self.state[pos]  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
             is_occ = st == OCCUPIED
-            match = is_occ & (self.keys_hi[pos] == hi[pending]) & (
-                self.keys_lo[pos] == lo[pending]
+            match = is_occ & (self.keys_hi[pos] == hi[pending]) & (  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
+                self.keys_lo[pos] == lo[pending]  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
             )
             if match.any():
                 rows = pos[match].astype(np.int64)
-                np.add.at(self.counts, (rows, slots[pending[match]]), 1)
-                stats.updates += int(match.sum())
+                cols = slots[pending[match]]
+                if weights is None:
+                    np.add.at(self.counts, (rows, cols), 1)  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
+                    stats.updates += int(match.sum())  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+                else:
+                    w = weights[pending[match]]
+                    np.add.at(self.counts, (rows, cols), w)  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
+                    stats.updates += int(w.sum())  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
             mismatch = is_occ & ~match
             empty = st == EMPTY
             winners = np.zeros(pending.size, dtype=bool)
@@ -170,15 +197,32 @@ class TwoWordHashTable:
                 winners[win] = True
                 wpos = pos[win].astype(np.int64)
                 wops = pending[win]
-                self.state[wpos] = OCCUPIED
-                self.keys_hi[wpos] = hi[wops]
-                self.keys_lo[wpos] = lo[wops]
-                np.add.at(self.counts, (wpos, slots[wops]), 1)
-                self.n_occupied += wpos.size
-                stats.inserts += wpos.size
-                stats.key_locks += wpos.size
-                stats.cas_failures += int(empty.sum()) - wpos.size
-            stats.probes += int(mismatch.sum())
+                self.state[wpos] = OCCUPIED  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
+                self.keys_hi[wpos] = hi[wops]  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
+                self.keys_lo[wpos] = lo[wops]  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
+                if weights is None:
+                    np.add.at(self.counts, (wpos, slots[wops]), 1)  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
+                    lost = int(empty.sum()) - wpos.size
+                else:
+                    w = weights[wops]
+                    np.add.at(self.counts, (wpos, slots[wops]), w)  # checks: allow[R1] single-owner batch path: each partition's table is filled by exactly one process/thread
+                    # Un-aggregated, the duplicates behind each winning
+                    # triple lose the CAS once and then update; triples
+                    # that lost to a different key lose once per
+                    # observation (same accounting as the one-word path).
+                    stats.updates += int(w.sum()) - wpos.size  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+                    lost = int(w.sum()) - wpos.size
+                    losers = empty & ~winners
+                    if losers.any():
+                        lost += int(weights[pending[losers]].sum())
+                self.n_occupied += wpos.size  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+                stats.inserts += wpos.size  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+                stats.key_locks += wpos.size  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+                stats.cas_failures += lost  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+            if weights is None:
+                stats.probes += int(mismatch.sum())  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+            else:
+                stats.probes += int(weights[pending[mismatch]].sum())  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
             keep = (~match) & (~winners)
             advance = mismatch[keep].astype(np.uint64)
             pending = pending[keep]
@@ -309,7 +353,7 @@ class TwoWordHashTable:
     def _sync_mirror(self) -> None:
         """Re-sync the single-threaded numpy mirror after a fork-join."""
         if self._atomic_state is not None:
-            self.state[:] = self._atomic_state.snapshot().astype(self.state.dtype)
+            self.state[:] = self._atomic_state.snapshot().astype(self.state.dtype)  # checks: allow[R1] single-threaded resync after fork-join
 
     # -- queries --------------------------------------------------------------------
 
@@ -324,7 +368,7 @@ class TwoWordHashTable:
         """All occupancy flags; see ConcurrentHashTable._state_view."""
         if self._atomic_state is not None:
             return self._atomic_state.snapshot().astype(np.int8)
-        return self.state
+        return self.state  # checks: allow[R1] single-threaded mode only (atomic snapshot taken while threads run)
 
     def lookup(self, kmer: int) -> np.ndarray | None:
         hi, lo = split_int(int(kmer), self.k)
@@ -342,9 +386,9 @@ class TwoWordHashTable:
 
     def to_graph(self) -> BigDeBruijnGraph:
         occ = self._state_view() == OCCUPIED
-        hi = self.keys_hi[occ]
-        lo = self.keys_lo[occ]
-        counts = self.counts[occ].astype(np.uint64)
+        hi = self.keys_hi[occ]  # checks: allow[R1] quiescent read-out after all inserts joined
+        lo = self.keys_lo[occ]  # checks: allow[R1] quiescent read-out after all inserts joined
+        counts = self.counts[occ].astype(np.uint64)  # checks: allow[R1] quiescent read-out after all inserts joined
         order = np.lexsort((lo, hi))
         return BigDeBruijnGraph(
             k=self.k, vertices_hi=hi[order], vertices_lo=lo[order],

@@ -96,7 +96,7 @@ THREADED_ROOTS = frozenset({"insert_one_threadsafe", "lookup"})
 #: Packages whose every function runs on (or builds) the threaded path,
 #: matched against *path components* (so ``bench_parallel_backend.py``
 #: is not swept in by substring accident).
-THREADED_MODULE_FRAGMENTS = ("concurrentsub", "parallel")
+THREADED_MODULE_FRAGMENTS = ("concurrentsub", "parallel", "bigk")
 
 #: Calls that create (own) a shared-memory segment (R6/R7).
 SEGMENT_CREATORS = frozenset({

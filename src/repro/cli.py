@@ -63,7 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="co-processing worker threads for Step 2")
     p.add_argument("--backend", choices=["serial", "threads", "processes"],
                    default="serial",
-                   help="execution backend for the pipeline (k <= 31)")
+                   help="execution backend for the pipeline (any k <= 63)")
     p.add_argument("--workers", type=int, default=0,
                    help="worker count for --backend threads/processes "
                         "(0 = all cores)")
@@ -174,16 +174,6 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    # Argument validation comes BEFORE the reads are loaded: a k > 31
-    # run on an unsupported backend must fail fast, not after minutes
-    # of input parsing.
-    if args.k > 31 and args.backend == "processes":
-        print(f"error: --backend processes supports only k <= 31 "
-              f"(one-word packed kmers); for k = {args.k} use the "
-              "two-word big-k path: --backend serial or "
-              "--backend threads",
-              file=sys.stderr)
-        return 2
     reads = load_read_batch(args.input)
     if args.k > 31:
         return _build_bigk(args, reads)
@@ -214,8 +204,8 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 
 def _build_bigk(args: argparse.Namespace, reads) -> int:
-    """Two-word construction path for 31 < K <= 63."""
-    from .bigk import build_debruijn_graph_bigk, save_big_graph
+    """Two-word construction path for 31 < K <= 63 (any backend)."""
+    from .bigk import save_big_graph
 
     if args.min_multiplicity > 1:
         print("error: --min-multiplicity is only supported for k <= 31",
@@ -225,18 +215,23 @@ def _build_bigk(args: argparse.Namespace, reads) -> int:
         print("error: --tsv export is only supported for k <= 31",
               file=sys.stderr)
         return 2
-    n_threads = 1
-    if args.backend == "threads":
-        import os
-
-        n_threads = args.workers or (os.cpu_count() or 1)
-    graph = build_debruijn_graph_bigk(
-        reads, args.k, p=min(args.p, 31), n_partitions=args.partitions,
-        n_threads=max(n_threads, args.threads),
+    config = ParaHashConfig(
+        k=args.k, p=min(args.p, 31), n_partitions=args.partitions,
+        n_threads=args.threads, backend=args.backend, n_workers=args.workers,
+        pipeline=args.pipeline, preaggregate=args.preaggregate,
+        calibrate=args.calibrate,
     )
+    result = ParaHash(config).build_graph(
+        reads, workdir=Path(args.workdir) if args.workdir else None
+    )
+    graph = result.graph
     n_bytes = save_big_graph(args.output, graph)
     print(f"{graph.n_vertices:,} vertices (two-word keys, k={args.k}) "
           f"-> {args.output} ({n_bytes:,} bytes)")
+    print(f"stages: MSP {result.timings.msp_seconds:.2f}s, "
+          f"hashing {result.timings.hashing_seconds:.2f}s, "
+          f"IO {result.timings.io_seconds:.2f}s; "
+          f"lock reduction {100 * result.hash_stats.lock_reduction:.0f}%")
     return 0
 
 

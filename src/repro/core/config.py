@@ -25,9 +25,14 @@ class ParaHashConfig:
     ----------
     k:
         Kmer length (vertex size).  The paper uses 27 for both datasets.
+        ``k <= 31`` packs into one word; ``31 < k <= 63`` uses the
+        split-key two-word substrate (:mod:`repro.bigk`).
     p:
         Minimizer length; larger P balances partitions better but
-        fragments superkmers (Fig 6).  Must satisfy ``1 <= p <= k``.
+        fragments superkmers (Fig 6).  Must satisfy ``1 <= p <= k``,
+        and ``p <= 31`` always — minimizers stay one-word even for
+        big k (superkmer decomposition only looks at P-length
+        substrings).
     n_partitions:
         Number of superkmer partitions (and subgraphs).  The paper uses
         512 for gigabyte-scale inputs, 960 for 100 GB+.
@@ -78,10 +83,12 @@ class ParaHashConfig:
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ValueError("k must be >= 1")
-        if self.k > 31:
-            raise ValueError("k must be <= 31 (one-word packed kmers)")
+        if self.k > 63:
+            raise ValueError("k must be <= 63 (two-word packed kmers)")
         if not 1 <= self.p <= self.k:
             raise ValueError(f"need 1 <= p <= k, got p={self.p}, k={self.k}")
+        if self.p > 31:
+            raise ValueError("minimizer length p must be <= 31 (one word)")
         if self.n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
         if self.n_input_pieces < 1:

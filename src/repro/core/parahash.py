@@ -44,7 +44,13 @@ class StageTimings:
 
 @dataclass
 class ParaHashResult:
-    """Everything a ParaHash run produced."""
+    """Everything a ParaHash run produced.
+
+    For big-k runs (``config.k > 31``) ``graph``/``subgraphs`` hold
+    :class:`repro.bigk.store.BigDeBruijnGraph` instances instead; the
+    two stores share the counter layout and the describe/compare
+    surface.
+    """
 
     graph: DeBruijnGraph
     subgraphs: list[DeBruijnGraph]
@@ -173,6 +179,9 @@ class ParaHash:
             threaded = ParaHash(cfg.with_(n_threads=cfg.workers()))
             return threaded.build_graph(reads, workdir=workdir,
                                         output_dir=output_dir)
+        if cfg.k > 31:
+            return self._build_graph_bigk(reads, workdir=workdir,
+                                          output_dir=output_dir)
         t0 = time.perf_counter()
         io_seconds = 0.0
         partition_bytes = 0
@@ -224,6 +233,88 @@ class ParaHash:
             worker_records=records,
         )
 
+
+    def _build_graph_bigk(
+        self,
+        reads: ReadBatch,
+        workdir: str | Path | None = None,
+        output_dir: str | Path | None = None,
+    ) -> ParaHashResult:
+        """Big-k (k > 31) twin of :meth:`build_graph` for serial/threads.
+
+        Step 1 is unchanged — MSP only looks at one-word P-length
+        minimizers — so partitioning (in memory or through PHSK files)
+        is shared with the one-word path.  Step 2 runs the two-word
+        table (:func:`repro.bigk.construct.build_subgraph_2w`),
+        co-processed through the §III-E queue when ``n_threads > 1``.
+        The ``processes`` backend never reaches here: its driver
+        dispatches on k per partition itself.
+        """
+        from ..bigk.construct import build_subgraph_2w, merge_bigk_disjoint
+
+        cfg = self.config
+        t0 = time.perf_counter()
+        io_seconds = 0.0
+        if workdir is None:
+            blocks = self.partition(reads)
+            n_superkmers = sum(b.n_superkmers for b in blocks)
+            n_kmers = sum(b.total_kmers() for b in blocks)
+            partition_bytes = sum(b.byte_size_encoded() for b in blocks)
+        else:
+            report = partition_to_files(
+                reads, cfg.k, cfg.p, cfg.n_partitions, workdir,
+                n_input_pieces=cfg.n_input_pieces,
+            )
+            t_io = time.perf_counter()
+            blocks = load_partitions(report.paths)
+            io_seconds += time.perf_counter() - t_io
+            n_superkmers = report.n_superkmers
+            n_kmers = report.n_kmers
+            partition_bytes = report.bytes_written
+        t1 = time.perf_counter()
+
+        nonempty = [b for b in blocks if b.n_superkmers]
+
+        def process(block: SuperkmerBlock):
+            return build_subgraph_2w(block, policy=cfg.sizing,
+                                     preaggregate=cfg.preaggregate)
+
+        records: dict[str, WorkerRecord] = {}
+        if cfg.n_threads > 1 and len(nonempty) > 1:
+            workers = {f"cpu{t}": process for t in range(cfg.n_threads)}
+            subgraph_results, records = run_coprocessed(
+                nonempty, workers, size_of=lambda b: b.total_kmers()
+            )
+        else:
+            subgraph_results = [process(b) for b in nonempty]
+        t2 = time.perf_counter()
+
+        subgraphs = [r.graph for r in subgraph_results]
+        if output_dir is not None and subgraphs:
+            from ..bigk.serialize import save_big_subgraphs
+
+            t_io = time.perf_counter()
+            save_big_subgraphs(output_dir, subgraphs)
+            io_seconds += time.perf_counter() - t_io
+        graph = merge_bigk_disjoint(subgraphs, k=cfg.k)
+        stats = HashStats()
+        for r in subgraph_results:
+            stats = stats.merged_with(r.stats)
+        return ParaHashResult(
+            graph=graph,
+            subgraphs=subgraphs,
+            hash_stats=stats,
+            timings=StageTimings(
+                msp_seconds=(t1 - t0) - io_seconds,
+                hashing_seconds=t2 - t1,
+                io_seconds=io_seconds,
+            ),
+            n_superkmers=n_superkmers,
+            n_kmers=n_kmers,
+            partition_bytes=partition_bytes,
+            config=cfg,
+            worker_records=records,
+        )
 
     def build_graph_from_files(
         self,

@@ -41,6 +41,13 @@ the *same* table's occupancy flags through
 :class:`~repro.parallel.atomics_mp.ProcessAtomicInt64Array` — which is
 what validates that the state-transfer protocol is sound on genuinely
 concurrent memory, not merely under the GIL.
+
+Both drivers and the CAS validation path run at any ``k <= 63``: for
+``k > 31`` the table segments carry the split-key two-word planes
+(``keys_hi``/``keys_lo``), Step 2 runs the :mod:`repro.bigk` kernels,
+and :func:`concurrent_insert_processes_2w` exercises the multi-word
+publish (both key words written inside the LOCKED window) across
+processes.
 """
 
 from __future__ import annotations
@@ -146,13 +153,21 @@ def _step1_worker(worker_id: int, batch_spec: SegmentSpec,
 
 
 def _process_step2_job(job: _Step2Job, sizing, preaggregate: bool) -> dict:
-    """Fill one partition's shared table in place; returns its payload."""
+    """Fill one partition's shared table in place; returns its payload.
+
+    Width-agnostic: ``table_over_segment`` hands back the one- or
+    two-word table per ``job.k``, and the observation kernels are
+    selected to match — the payload protocol (stats + optional
+    fallback graph) is identical either way.
+    """
     from ..core.subgraph import (
         block_observations,
         build_subgraph,
         preaggregate_observations,
     )
 
+    if job.k > 31:
+        return _process_step2_job_2w(job, sizing, preaggregate)
     block = load_partition_group([Path(s) for s in job.group], job.k)
     payload: dict = {"partition": job.partition,
                      "n_kmers": block.total_kmers()}
@@ -174,6 +189,48 @@ def _process_step2_job(job: _Step2Job, sizing, preaggregate: bool) -> dict:
         # the (rare) oversized result through the queue instead.
         result = build_subgraph(block, policy=sizing, n_threads=1,
                                 preaggregate=preaggregate)
+        payload["stats"] = result.stats
+        payload["fallback"] = result.graph
+    finally:
+        table.detach_views()
+        seg.close()
+    return payload
+
+
+def _process_step2_job_2w(job: _Step2Job, sizing, preaggregate: bool) -> dict:
+    """Big-k (k > 31) twin of :func:`_process_step2_job`.
+
+    Same shared-table-in-place protocol, with the split-key kernels:
+    observations come from :func:`block_observations_2w`, duplicates
+    pre-aggregate over ``(hi, lo, slot)`` triples, and the
+    ``TableFullError`` fallback regrows through
+    :func:`build_subgraph_2w` locally.
+    """
+    from ..bigk.construct import (
+        block_observations_2w,
+        build_subgraph_2w,
+        preaggregate_observations_2w,
+    )
+
+    block = load_partition_group([Path(s) for s in job.group], job.k)
+    payload: dict = {"partition": job.partition,
+                     "n_kmers": block.total_kmers()}
+    seg = attach_segment(job.table_spec)
+    table = table_over_segment(seg, job.k, fresh=True)
+    try:
+        hi, lo, slots = block_observations_2w(block)
+        counts = None
+        if preaggregate:
+            hi, lo, slots, counts = preaggregate_observations_2w(
+                hi, lo, slots
+            )
+        table.insert_batch(hi, lo, slots, counts=counts)
+        seg["header"][HEADER_N_OCCUPIED] = table.n_occupied
+        payload["stats"] = table.stats
+        payload["fallback"] = None
+    except TableFullError:
+        result = build_subgraph_2w(block, policy=sizing,
+                                   preaggregate=preaggregate)
         payload["stats"] = result.stats
         payload["fallback"] = result.graph
     finally:
@@ -224,6 +281,28 @@ def _pipeline_worker(worker_id: int, batch_spec: SegmentSpec,
         for job in jobs:
             out.append(_process_step2_job(job, sizing, preaggregate))
     return {"step2": out}
+
+
+def _merge_partition_subgraphs(subgraphs, k: int):
+    """Union the per-partition subgraphs, one- or two-word per ``k``."""
+    if k > 31:
+        from ..bigk.construct import merge_bigk_disjoint
+
+        return merge_bigk_disjoint(subgraphs, k=k)
+    nonempty = [g for g in subgraphs if g.n_vertices]
+    return merge_disjoint(nonempty) if nonempty else empty_graph(k)
+
+
+def _save_partition_subgraphs(output_dir, subgraphs, k: int) -> None:
+    """Write subgraph files in the format matching the key width."""
+    if k > 31:
+        from ..bigk.serialize import save_big_subgraphs
+
+        save_big_subgraphs(output_dir, subgraphs)
+    else:
+        from ..graph.serialize import save_subgraphs
+
+        save_subgraphs(output_dir, subgraphs)
 
 
 # -- the driver ------------------------------------------------------------------
@@ -347,7 +426,11 @@ def _calibrated_weights(reads: ReadBatch, cfg, n_workers: int,
         measure_host_rates,
     )
 
-    calibration = measure_host_rates(reads, cfg.k, cfg.p, cfg.n_partitions)
+    # The measurement pass runs the one-word kernels; for big-k runs
+    # clamp the sample's k to one word — throughput per base is what
+    # the fit extracts, and that is width-insensitive to first order.
+    calibration = measure_host_rates(reads, min(cfg.k, 31), cfg.p,
+                                     cfg.n_partitions)
     device = fitted_cpu(calibration, n_threads=1)
     reads_per_chunk = max(1, reads.n_reads // max(1, n_chunks))
     chunk_bases = reads_per_chunk * reads.read_length
@@ -527,14 +610,11 @@ def build_graph_processes(
         t2 = time.perf_counter()
 
         if output_dir is not None and subgraphs:
-            from ..graph.serialize import save_subgraphs
-
             t_io = time.perf_counter()
-            save_subgraphs(output_dir, subgraphs)
+            _save_partition_subgraphs(output_dir, subgraphs, cfg.k)
             io_seconds += time.perf_counter() - t_io
 
-        nonempty = [g for g in subgraphs if g.n_vertices]
-        graph = merge_disjoint(nonempty) if nonempty else empty_graph(cfg.k)
+        graph = _merge_partition_subgraphs(subgraphs, cfg.k)
         return ParaHashResult(
             graph=graph,
             subgraphs=subgraphs,
@@ -623,15 +703,12 @@ def _build_pipelined(
 
     io_seconds = merger.io_seconds
     if output_dir is not None and subgraphs:
-        from ..graph.serialize import save_subgraphs
-
         t_io = time.perf_counter()
-        save_subgraphs(output_dir, subgraphs)
+        _save_partition_subgraphs(output_dir, subgraphs, cfg.k)
         io_seconds += time.perf_counter() - t_io
 
     spills_done = merger.spills_done_at or t2
-    nonempty = [g for g in subgraphs if g.n_vertices]
-    graph = merge_disjoint(nonempty) if nonempty else empty_graph(cfg.k)
+    graph = _merge_partition_subgraphs(subgraphs, cfg.k)
     step1_reports = [merger.reports[w] for w in sorted(merger.reports)]
     return ParaHashResult(
         graph=graph,
@@ -741,6 +818,79 @@ def _cas_worker(worker_id: int, table_spec: SegmentSpec,
     try:
         for i in range(bounds[worker_id], bounds[worker_id + 1]):
             table.insert_one_threadsafe(int(kmers[i]), int(slots[i]), local)
+    finally:
+        table.detach_views()
+        seg.close()
+        flags_seg.close()
+    return local
+
+
+def concurrent_insert_processes_2w(
+    hi: np.ndarray,
+    lo: np.ndarray,
+    slots: np.ndarray,
+    k: int,
+    capacity: int,
+    n_workers: int,
+    n_stripes: int = 64,
+):
+    """Two-word twin of :func:`concurrent_insert_processes` (k > 31).
+
+    Several processes CAS the same occupancy plane and publish BOTH key
+    words (``keys_hi`` then ``keys_lo``) inside the LOCKED window —
+    the multi-word case the state-transfer protocol exists for (paper
+    §III, multi-word ablation).  Returns the resulting
+    :class:`~repro.bigk.store.BigDeBruijnGraph` and per-worker stats.
+    """
+    hi = np.ascontiguousarray(hi, dtype=np.uint64).ravel()
+    lo = np.ascontiguousarray(lo, dtype=np.uint64).ravel()
+    slots = np.ascontiguousarray(slots, dtype=np.int64).ravel()
+    if not (hi.shape == lo.shape == slots.shape):
+        raise ValueError("hi, lo and slots must be parallel arrays")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if k <= 31:
+        raise ValueError("use concurrent_insert_processes for k <= 31")
+    ctx = default_context()
+    cap = next_power_of_two(max(2, capacity))
+    # Same ownership discipline as the one-word path: each `with` owns
+    # its segment from creation, so a failed lock-bundle build still
+    # unlinks everything (no shm leak on partially-constructed runs).
+    with create_table_segment(cap, k) as table_seg, \
+            create_segment([("flags", (cap,), "int64")]) as flags_seg:
+        state_locks = create_lock_bundle(ctx, n_stripes)
+        count_locks = create_lock_bundle(ctx, n_stripes)
+        bounds = np.linspace(0, hi.size, n_workers + 1).astype(int).tolist()
+        stats = run_workers(
+            _cas_worker_2w, n_workers, ctx=ctx,
+            args=(table_seg.spec, flags_seg.spec, state_locks, count_locks,
+                  hi, lo, slots, bounds, k),
+        )
+        table_seg["state"][:] = flags_seg["flags"].astype(np.int8)
+        table = table_over_segment(table_seg, k, fresh=False)
+        graph = table.to_graph()
+        table.detach_views()
+        return graph, stats
+
+
+def _cas_worker_2w(worker_id: int, table_spec: SegmentSpec,
+                   flags_spec: SegmentSpec, state_locks, count_locks,
+                   hi: np.ndarray, lo: np.ndarray, slots: np.ndarray,
+                   bounds: list[int], k: int) -> HashStats:
+    """One process of the two-word cross-process state-machine run."""
+    from ..bigk.kmer2w import join_planes
+
+    seg = attach_segment(table_spec)
+    flags_seg = attach_segment(flags_spec)
+    table = table_over_segment(seg, k, fresh=True)
+    table._atomic_state = ProcessAtomicInt64Array(flags_seg["flags"],
+                                                  state_locks)
+    table._count_locks = list(count_locks)
+    local = HashStats()
+    try:
+        for i in range(bounds[worker_id], bounds[worker_id + 1]):
+            kmer = join_planes(hi[i], lo[i])
+            table.insert_one_threadsafe(kmer, int(slots[i]), local)
     finally:
         table.detach_views()
         seg.close()

@@ -2,7 +2,8 @@
 
 The process backend (:mod:`repro.parallel.backend`) moves the big
 arrays of a ParaHash run — the read-code matrix and the hash-table
-arrays (``state``, ``keys``, ``counts``) — into
+arrays (``state``, ``keys``, ``counts``; for k > 31 the split-key
+planes ``keys_hi``/``keys_lo``) — into
 :mod:`multiprocessing.shared_memory` segments so that
 
 * worker processes operate on the *same* physical memory the parent
@@ -203,14 +204,34 @@ _HEADER_LEN = 2
 
 
 def create_table_segment(capacity: int, k: int) -> SharedSegment:
-    """Zero-filled backing store for one :class:`ConcurrentHashTable`.
+    """Zero-filled backing store for one hash table (one- or two-word).
 
     Layout matches the table's arrays plus a small int64 header the
     filling worker patches (``n_occupied``).  ``capacity`` must already
     be the table's true (power-of-two) capacity.
+
+    For ``k <= 31`` the layout backs a
+    :class:`~repro.core.hashtable.ConcurrentHashTable` (one ``keys``
+    plane); for ``k > 31`` it is the split-key two-word layout of
+    :class:`~repro.bigk.table.TwoWordHashTable` — ``keys_hi`` and
+    ``keys_lo`` uint64 planes holding the ``k - 32`` leftmost and 32
+    rightmost bases.  Either way :func:`table_over_segment` rebuilds
+    the matching table over the views, so backend call sites stay
+    width-agnostic.
     """
     from ..graph.dbg import N_SLOTS
 
+    if k > 31:
+        from ..bigk.kmer2w import check_2w_k
+
+        check_2w_k(k)
+        return create_segment([
+            ("header", (_HEADER_LEN,), "int64"),
+            ("state", (capacity,), "int8"),
+            ("keys_hi", (capacity,), "uint64"),
+            ("keys_lo", (capacity,), "uint64"),
+            ("counts", (capacity, N_SLOTS), "uint32"),
+        ])
     return create_segment([
         ("header", (_HEADER_LEN,), "int64"),
         ("state", (capacity,), "int8"),
@@ -220,13 +241,26 @@ def create_table_segment(capacity: int, k: int) -> SharedSegment:
 
 
 def table_over_segment(seg: SharedSegment, k: int, fresh: bool = False):
-    """A :class:`ConcurrentHashTable` whose arrays are the segment's views.
+    """A hash table whose arrays are the segment's views (zero-copy).
+
+    Returns a :class:`~repro.core.hashtable.ConcurrentHashTable` over a
+    one-word segment or a :class:`~repro.bigk.table.TwoWordHashTable`
+    over a two-word one, keyed off ``k`` — which must match the layout
+    the segment was created with.
 
     With ``fresh=True`` the segment is assumed zero-filled (a new table);
     otherwise occupancy is recounted from the ``state`` array, so a
     parent can attach *after* a worker filled the table and read the
     result without any copy.
     """
+    if k > 31:
+        from ..bigk.table import TwoWordHashTable
+
+        return TwoWordHashTable.from_views(
+            k=k, state=seg["state"], keys_hi=seg["keys_hi"],
+            keys_lo=seg["keys_lo"], counts=seg["counts"],
+            n_occupied=0 if fresh else None,
+        )
     from ..core.hashtable import ConcurrentHashTable
 
     return ConcurrentHashTable.from_views(

@@ -230,6 +230,92 @@ class TestBigKConstruction:
             build_debruijn_graph_bigk(genomic_batch, 33, p=32)
 
 
+class TestBigKPreaggregate:
+    def test_preaggregate_preserves_observation_totals(self, genomic_batch):
+        from repro.bigk.construct import preaggregate_observations_2w
+
+        res = partition_reads(genomic_batch, 45, 15, 4)
+        block = max(res.blocks, key=lambda b: b.n_superkmers)
+        hi, lo, slots = block_observations_2w(block)
+        ahi, alo, aslots, counts = preaggregate_observations_2w(hi, lo, slots)
+        assert ahi.size == alo.size == aslots.size == counts.size
+        assert ahi.size < hi.size  # a covered genome repeats observations
+        assert int(counts.sum()) == hi.size
+        assert (counts >= 1).all()
+        # Aggregated triples are unique.
+        triples = set(zip(ahi.tolist(), alo.tolist(), aslots.tolist()))
+        assert len(triples) == ahi.size
+
+    def test_preaggregate_empty(self):
+        from repro.bigk.construct import preaggregate_observations_2w
+
+        e = np.zeros(0, dtype=np.uint64)
+        ahi, alo, aslots, counts = preaggregate_observations_2w(
+            e, e, np.zeros(0, dtype=np.int64)
+        )
+        assert ahi.size == alo.size == aslots.size == counts.size == 0
+
+    @pytest.mark.parametrize("k", [33, 45])
+    def test_preaggregated_build_equals_plain(self, genomic_batch, k):
+        plain = build_debruijn_graph_bigk(
+            genomic_batch, k, p=13, n_partitions=8, preaggregate=False
+        )
+        agg = build_debruijn_graph_bigk(
+            genomic_batch, k, p=13, n_partitions=8, preaggregate=True
+        )
+        assert agg.equals(plain)
+
+    def test_counted_insert_stats_order_independent(self, genomic_batch):
+        """Counted inserts meter ops/updates as if replayed one by one."""
+        res = partition_reads(genomic_batch, 45, 15, 1)
+        hi, lo, slots = block_observations_2w(res.blocks[0])
+        from repro.bigk.construct import preaggregate_observations_2w
+
+        ahi, alo, aslots, counts = preaggregate_observations_2w(hi, lo, slots)
+
+        plain = TwoWordHashTable(1 << 14, 45)
+        plain.insert_batch(hi, lo, slots)
+        agg = TwoWordHashTable(1 << 14, 45)
+        agg.insert_batch(ahi, alo, aslots, counts=counts)
+
+        assert agg.to_graph().equals(plain.to_graph())
+        for field in ("ops", "inserts", "updates", "count_increments"):
+            assert getattr(agg.stats, field) == getattr(plain.stats, field)
+        # Fewer physical probe rounds is the whole point of pre-aggregation.
+        assert agg.stats.key_locks == plain.stats.key_locks
+
+    def test_insert_batch_rejects_bad_counts(self):
+        t = TwoWordHashTable(64, 45)
+        one = np.ones(2, dtype=np.uint64)
+        slots = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError):
+            t.insert_batch(one, one, slots, counts=np.ones(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            t.insert_batch(one, one, slots,
+                           counts=np.array([1, 0], dtype=np.int64))
+
+
+class TestBigKPartitionCodec:
+    @pytest.mark.parametrize("k", [45, 63])
+    def test_phsk_roundtrip_big_k(self, genomic_batch, tmp_path, k):
+        """The PHSK partition codec is k-agnostic: k > 31 round-trips."""
+        from repro.msp.binio import read_partition, write_partition
+
+        res = partition_reads(genomic_batch, k, 15, 4)
+        block = max(res.blocks, key=lambda b: b.n_superkmers)
+        assert block.n_superkmers > 0
+        path = tmp_path / "part.phsk"
+        write_partition(path, block)
+        loaded = read_partition(path)
+        assert loaded.k == k
+        assert loaded.n_superkmers == block.n_superkmers
+        hi_a, lo_a, slots_a = block_observations_2w(block)
+        hi_b, lo_b, slots_b = block_observations_2w(loaded)
+        assert np.array_equal(hi_a, hi_b)
+        assert np.array_equal(lo_a, lo_b)
+        assert np.array_equal(slots_a, slots_b)
+
+
 class TestBigSerialize:
     def test_roundtrip(self, genomic_batch, tmp_path):
         from repro.bigk.serialize import load_big_graph, save_big_graph

@@ -95,6 +95,20 @@ class TestAllPathsAgree:
             reference, "bcalm",
         )
 
+    def test_parahash_bigk_processes(self, dataset):
+        """Big-k (k > 31): the processes backend against ground truth."""
+        from repro.bigk.store import build_reference_bigk_slow
+
+        _, _, reads = dataset
+        k = 45
+        slow = build_reference_bigk_slow(reads, k)
+        cfg = ParaHashConfig(
+            k=k, p=15, n_partitions=NP, backend="processes",
+            n_workers=2, pipeline=True,
+        )
+        result = ParaHash(cfg).build_graph(reads)
+        assert result.graph.equals(slow)
+
     def test_through_fastq_roundtrip(self, dataset, reference, tmp_path):
         # Write reads as fastq, read back, construct: identical graph.
         _, _, reads = dataset

@@ -19,7 +19,9 @@ class TestConfig:
         with pytest.raises(ValueError):
             ParaHashConfig(k=0)
         with pytest.raises(ValueError):
-            ParaHashConfig(k=32)
+            ParaHashConfig(k=64)  # two words hold at most 63 bases
+        with pytest.raises(ValueError):
+            ParaHashConfig(k=45, p=32)  # minimizers stay one-word
         with pytest.raises(ValueError):
             ParaHashConfig(k=11, p=12)
         with pytest.raises(ValueError):

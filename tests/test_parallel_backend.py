@@ -152,6 +152,149 @@ def test_cross_process_cas_matches_serial_insert(genomic_batch, rng):
     assert sum(s.ops for s in stats) == kmers.size
 
 
+# -- big-k (k > 31): two-word shm tables end-to-end -------------------------------
+
+BIGK_CFG = ParaHashConfig(k=45, p=15, n_partitions=16, n_input_pieces=4)
+
+
+def test_bigk_processes_matches_serial_pipelined(genomic_batch):
+    serial = ParaHash(BIGK_CFG).build_graph(genomic_batch)
+    procs = ParaHash(
+        BIGK_CFG.with_(backend="processes", n_workers=2, pipeline=True)
+    ).build_graph(genomic_batch)
+    assert serial.graph.n_vertices > 0
+    assert serial.graph.equals(procs.graph)
+
+
+def test_bigk_processes_matches_serial_barrier(clean_batch):
+    serial = ParaHash(BIGK_CFG).build_graph(clean_batch)
+    procs = ParaHash(
+        BIGK_CFG.with_(backend="processes", n_workers=2, pipeline=False)
+    ).build_graph(clean_batch)
+    assert serial.graph.equals(procs.graph)
+
+
+def test_bigk_processes_disk_artifacts_match_serial(clean_batch, tmp_path):
+    """Big-k workdir + output_dir artifacts are byte-identical too."""
+    outs = {}
+    for backend in ("serial", "processes"):
+        work = tmp_path / backend / "work"
+        out = tmp_path / backend / "out"
+        cfg = BIGK_CFG if backend == "serial" else BIGK_CFG.with_(
+            backend="processes", n_workers=2
+        )
+        result = ParaHash(cfg).build_graph(
+            clean_batch, workdir=work, output_dir=out
+        )
+        outs[backend] = (result, out)
+    serial_result, serial_out = outs["serial"]
+    procs_result, procs_out = outs["processes"]
+    assert serial_result.graph.equals(procs_result.graph)
+    serial_files = sorted(p.name for p in serial_out.iterdir())
+    assert serial_files == sorted(p.name for p in procs_out.iterdir())
+    assert serial_files
+    for name in serial_files:
+        assert (serial_out / name).read_bytes() == (
+            procs_out / name
+        ).read_bytes()
+
+
+def test_bigk_processes_fallback_on_undersized_tables(clean_batch):
+    """A breached Property-1 estimate regrows locally, graph unchanged."""
+    from repro.core.estimator import SizingPolicy
+
+    class Undersized(SizingPolicy):
+        def capacity_for(self, n_kmers: int) -> int:
+            return 32
+
+    serial = ParaHash(BIGK_CFG).build_graph(clean_batch)
+    for pipeline in (True, False):
+        procs = ParaHash(BIGK_CFG.with_(
+            backend="processes", n_workers=2, pipeline=pipeline,
+            sizing=Undersized(),
+        )).build_graph(clean_batch)
+        assert serial.graph.equals(procs.graph)
+
+
+def test_cross_process_cas_2w_matches_serial_insert(genomic_batch, rng):
+    from repro.bigk import TwoWordHashTable, canonical2w_with_flip
+    from repro.bigk.kmer2w import kmers2w_from_reads
+    from repro.parallel import concurrent_insert_processes_2w
+
+    k = 45
+    hi, lo = kmers2w_from_reads(genomic_batch.codes, k)
+    hi, lo, _ = canonical2w_with_flip(hi, lo, k)
+    hi, lo = hi[:5000], lo[:5000]
+    slots = rng.integers(0, N_SLOTS, size=hi.size, dtype=np.int64)
+    capacity = 1 << 14
+
+    serial = TwoWordHashTable(capacity, k)
+    serial.insert_batch(hi, lo, slots)
+    expected = serial.to_graph()
+
+    graph, stats = concurrent_insert_processes_2w(
+        hi, lo, slots, k, capacity, n_workers=3
+    )
+    assert expected.equals(graph)
+    assert len(stats) == 3
+    assert sum(s.ops for s in stats) == hi.size
+
+
+def test_cross_process_cas_2w_rejects_small_k():
+    with pytest.raises(ValueError):
+        from repro.parallel import concurrent_insert_processes_2w
+
+        concurrent_insert_processes_2w(
+            np.zeros(1, dtype=np.uint64), np.zeros(1, dtype=np.uint64),
+            np.zeros(1, dtype=np.int64), 21, 16, 1,
+        )
+
+
+# -- CI backend x k matrix leg ----------------------------------------------------
+#
+# In CI the `matrix` suite runs this module with REPRO_MATRIX_K and
+# REPRO_MATRIX_BACKEND set (k in {21, 45} x backend in {serial,
+# threads, processes}); locally the acceptance-criterion cell (k=45 on
+# the pipelined processes backend) runs by default.
+
+MATRIX_K = int(os.environ.get("REPRO_MATRIX_K", "45"))
+MATRIX_BACKEND = os.environ.get("REPRO_MATRIX_BACKEND", "processes")
+
+
+def test_matrix_cell_cli_build_matches_serial(genomic_batch, tmp_path):
+    """`repro build` at (REPRO_MATRIX_K, REPRO_MATRIX_BACKEND) equals serial."""
+    from repro.cli import main as cli_main
+    from repro.dna.io import save_read_batch
+    from repro.graph.compare import compare_graphs
+
+    k, backend = MATRIX_K, MATRIX_BACKEND
+    reads_file = tmp_path / "reads.fastq"
+    save_read_batch(reads_file, genomic_batch, fmt="fastq")
+    p = "9" if k <= 31 else "15"
+    base = ["build", "--input", str(reads_file), "--k", str(k), "--p", p,
+            "--partitions", "16"]
+    serial_out = tmp_path / "serial.phdbg"
+    assert cli_main(base + ["--backend", "serial",
+                            "--output", str(serial_out)]) == 0
+    cell_out = tmp_path / "cell.phdbg"
+    argv = base + ["--backend", backend, "--output", str(cell_out)]
+    if backend == "processes":
+        argv += ["--workers", "2", "--pipeline"]
+    elif backend == "threads":
+        argv += ["--workers", "2"]
+    assert cli_main(argv) == 0
+
+    if k <= 31:
+        from repro.graph.serialize import load_graph as load
+    else:
+        from repro.bigk import load_big_graph as load
+    a, b = load(serial_out), load(cell_out)
+    comparison = compare_graphs(a, b)
+    assert comparison.jaccard == 1.0
+    assert comparison.n_only_a == comparison.n_only_b == 0
+    assert np.array_equal(a.counts, b.counts)
+
+
 # -- configuration plumbing -------------------------------------------------------
 
 

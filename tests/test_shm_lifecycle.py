@@ -119,6 +119,50 @@ def test_share_read_batch_copy_failure_unlinks():
     assert _segments() - before == set()
 
 
+BIGK_CFG = ParaHashConfig(k=45, p=15, n_partitions=16, n_input_pieces=4)
+
+
+@needs_dev_shm
+@needs_fork
+def test_failed_bigk_pipelined_run_leaves_no_segments(
+        genomic_batch, monkeypatch):
+    """Two-word (k > 31) segments obey the same ownership discipline:
+    a worker failure mid-pipeline unlinks the batch segment and every
+    two-word table segment (header/state/keys_hi/keys_lo/counts)."""
+    monkeypatch.setattr(backend_mod, "_process_step2_job_2w",
+                        _exploding_step2)
+    before = _segments()
+    with pytest.raises(WorkerFailed):
+        ParaHash(
+            BIGK_CFG.with_(backend="processes", n_workers=2, pipeline=True)
+        ).build_graph(genomic_batch)
+    assert _segments() - before == set()
+
+
+@needs_dev_shm
+@needs_fork
+def test_failed_bigk_barrier_run_leaves_no_segments(
+        genomic_batch, monkeypatch):
+    monkeypatch.setattr(backend_mod, "_process_step2_job_2w",
+                        _exploding_step2)
+    before = _segments()
+    with pytest.raises(WorkerFailed):
+        ParaHash(
+            BIGK_CFG.with_(backend="processes", n_workers=2, pipeline=False)
+        ).build_graph(genomic_batch)
+    assert _segments() - before == set()
+
+
+@needs_dev_shm
+def test_successful_bigk_run_leaves_no_segments(clean_batch):
+    before = _segments()
+    result = ParaHash(
+        BIGK_CFG.with_(backend="processes", n_workers=2, pipeline=True)
+    ).build_graph(clean_batch)
+    assert result.graph.n_vertices > 0
+    assert _segments() - before == set()
+
+
 @needs_dev_shm
 def test_successful_run_leaves_no_segments(clean_batch):
     before = _segments()
