@@ -59,9 +59,11 @@ R9  Every ``allow[...]`` pragma must suppress at least one issue: a
     would silently swallow a future regression.  R9 itself cannot be
     suppressed — stale pragmas are removed, not annotated.
 
-Threaded reachability: every function in ``repro/concurrentsub`` and
-``repro/parallel`` is considered threaded (those packages *are* the
-concurrency substrate); elsewhere, reachability starts from the
+Threaded reachability: every function in ``repro/concurrentsub``,
+``repro/parallel``, ``repro/bigk`` and ``repro/service`` is considered
+threaded (those packages *are* the concurrency substrate, or — for the
+job service — feed worker processes and cross-thread handles);
+elsewhere, reachability starts from the
 per-operation protocol entry points (``insert_one_threadsafe``,
 ``lookup``) and follows ``self.method()`` / local-function calls
 within the file.
@@ -96,7 +98,7 @@ THREADED_ROOTS = frozenset({"insert_one_threadsafe", "lookup"})
 #: Packages whose every function runs on (or builds) the threaded path,
 #: matched against *path components* (so ``bench_parallel_backend.py``
 #: is not swept in by substring accident).
-THREADED_MODULE_FRAGMENTS = ("concurrentsub", "parallel", "bigk")
+THREADED_MODULE_FRAGMENTS = ("concurrentsub", "parallel", "bigk", "service")
 
 #: Calls that create (own) a shared-memory segment (R6/R7).
 SEGMENT_CREATORS = frozenset({

@@ -10,7 +10,10 @@ Exposes the library's main workflows as ``python -m repro <command>``:
 * ``hetsim`` — replay the construction on simulated CPU/GPU devices and
   report elapsed times and workload shares;
 * ``checks`` — concurrency static analysis (R1-R5) and the dynamic
-  lockset race detector (delegates to ``python -m repro.checks``).
+  lockset race detector (delegates to ``python -m repro.checks``);
+* ``serve`` / ``submit`` / ``jobs`` / ``resume`` — the job service:
+  a daemon running checkpointed, resumable builds for many tenants
+  over one shared process pool (see :mod:`repro.service`).
 
 All commands are deterministic given their ``--seed``.
 """
@@ -133,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("rest", nargs=argparse.REMAINDER)
     p.set_defaults(func=cmd_checks)
+
+    from .service.cli import add_service_commands
+
+    add_service_commands(sub)
 
     p = sub.add_parser("hetsim", help="simulate heterogeneous co-processing")
     p.add_argument("--input", required=True, help="FASTA/FASTQ reads")

@@ -17,7 +17,13 @@ from .backend import (
     concurrent_insert_processes,
     concurrent_insert_processes_2w,
 )
-from .pool import WorkerCrashed, WorkerFailed, default_context, run_workers
+from .pool import (
+    PoolInterrupted,
+    WorkerCrashed,
+    WorkerFailed,
+    default_context,
+    run_workers,
+)
 from .shm import (
     SegmentSpec,
     SharedSegment,
@@ -28,6 +34,7 @@ from .shm import (
 )
 
 __all__ = [
+    "PoolInterrupted",
     "ProcessAtomicInt64Array",
     "SegmentSpec",
     "SharedSegment",

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import signal
+import threading
 import traceback
 from typing import Any, Callable
 
@@ -27,6 +29,50 @@ class WorkerCrashed(RuntimeError):
 
 class WorkerFailed(RuntimeError):
     """A worker process raised; carries the worker's traceback text."""
+
+
+class PoolInterrupted(RuntimeError):
+    """The parent received SIGTERM/SIGINT while workers were running.
+
+    Raised *synchronously* inside :func:`run_workers`' poll loop so the
+    normal teardown runs: workers are terminated, and every enclosing
+    ``try/finally`` in the caller — which is where shared-memory
+    segments are owned — unlinks its segments before the process exits.
+    Without this conversion a SIGTERM would kill the parent mid-run and
+    orphan every live segment in ``/dev/shm``.
+    """
+
+
+def _install_signal_handlers() -> dict | None:
+    """Convert SIGTERM/SIGINT into :class:`PoolInterrupted` for the
+    duration of a pool run; returns the previous handlers (or ``None``
+    when not on the main thread, where handlers cannot be changed)."""
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def handler(signum: int, frame) -> None:
+        raise PoolInterrupted(
+            f"received signal {signum} while running workers; pool torn "
+            f"down and owned segments unlinked"
+        )
+
+    previous: dict = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
+    return previous
+
+
+def _restore_signal_handlers(previous: dict | None) -> None:
+    if not previous:
+        return
+    for sig, old in previous.items():
+        try:
+            signal.signal(sig, old)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
 
 
 def default_context() -> mp.context.BaseContext:
@@ -45,6 +91,14 @@ def default_context() -> mp.context.BaseContext:
 
 def _worker_shell(fn: Callable, args: tuple, out: mp.queues.Queue,
                   worker_id: int, pass_emit: bool) -> None:
+    try:
+        # The parent converts SIGTERM to PoolInterrupted for *its own*
+        # cleanup; a forked worker inherits that handler, which would
+        # turn the pool's terminate() into a slow graceful unwind.
+        # Workers die promptly: restore the default disposition.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic host
+        pass
     try:
         if pass_emit:
             def emit(payload: Any) -> None:
@@ -89,6 +143,12 @@ def run_workers(
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     ctx = ctx or default_context()
+    # From here to the final restore, SIGTERM/SIGINT raise
+    # PoolInterrupted in this (main) thread: the poll loop below exits
+    # through its finally (workers terminated) and the caller's own
+    # finally blocks run (owned shm segments unlinked) before the
+    # process dies — a clean drain-or-abort instead of an orphaned run.
+    previous_handlers = _install_signal_handlers()
     out: mp.queues.Queue = ctx.Queue()
     procs = [
         ctx.Process(target=_worker_shell,
@@ -96,13 +156,13 @@ def run_workers(
                     name=f"repro-worker-{w}", daemon=True)
         for w in range(n_workers)
     ]
-    for p in procs:
-        p.start()
     results: list[Any] = [None] * n_workers
     reported = [False] * n_workers
     failure: tuple[str, int, str] | None = None
     waited = 0.0
     try:
+        for p in procs:
+            p.start()
         while not all(reported):
             try:
                 kind, worker_id, payload = out.get(timeout=poll_seconds)
@@ -143,12 +203,15 @@ def run_workers(
             )
         return results
     finally:
-        for p in procs:
-            if p.is_alive():
-                p.terminate()
-        for p in procs:
-            p.join(timeout=10.0)
-        out.close()
+        try:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=10.0)
+            out.close()
+        finally:
+            _restore_signal_handlers(previous_handlers)
 
 
 def _pending(reported: list[bool]) -> list[int]:

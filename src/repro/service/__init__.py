@@ -1,0 +1,37 @@
+"""The job service: a daemonized, checkpointed, multi-tenant builder.
+
+Everything above the one-shot pipeline: durable job directories
+(:mod:`jobstore`), stage manifests that make kills resumable
+(:mod:`manifest`, :mod:`runner`), the shared weighted process pool
+serving many jobs at once (:mod:`pool`), and the asyncio HTTP front end
+plus CLI (:mod:`server`, :mod:`cli`).
+"""
+
+from .jobstore import JobError, JobRecord, JobSpec, JobStore
+from .manifest import Artifact, StageManifest, file_digest, write_json_atomic
+from .pool import (
+    LaneSession,
+    LaneStalled,
+    ServicePool,
+    SessionCancelled,
+    TasksFailed,
+)
+from .runner import JobFailed, run_job
+
+__all__ = [
+    "Artifact",
+    "JobError",
+    "JobFailed",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "LaneSession",
+    "LaneStalled",
+    "ServicePool",
+    "SessionCancelled",
+    "StageManifest",
+    "TasksFailed",
+    "file_digest",
+    "run_job",
+    "write_json_atomic",
+]

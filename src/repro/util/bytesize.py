@@ -1,0 +1,65 @@
+"""Human-readable byte sizes (``"2G"`` <-> ``2147483648``).
+
+Job specs and the future ``--max-memory`` budget accept sizes the way
+operators write them (``"512M"``, ``"1.5 GiB"``, ``"92G"``); internally
+everything is an integer byte count.  Binary units throughout: ``K``
+is 1024, matching how memory budgets are actually provisioned (and
+Flye's ``human2bytes`` convention, the exemplar for checkpointed
+assembly jobs).
+"""
+
+from __future__ import annotations
+
+import re
+
+_UNIT_EXPONENTS = {"": 0, "B": 0, "K": 1, "M": 2, "G": 3, "T": 4, "P": 5}
+
+#: ``<number> <unit>`` where unit is one of K/M/G/T/P with optional
+#: ``B``/``iB`` suffix (``K``, ``KB`` and ``KiB`` all mean 1024).
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*"
+    r"(?P<unit>[KMGTP]?)(?:I?B)?\s*$",
+    re.IGNORECASE,
+)
+
+
+def human2bytes(size: str | int | float) -> int:
+    """Parse a human size string into an integer byte count.
+
+    Accepts plain integers (returned as-is), floats with units
+    (``"1.5G"``), and any of ``K/KB/KiB`` style unit spellings,
+    case-insensitively.  Raises :class:`ValueError` on anything else,
+    including negative values.
+    """
+    if isinstance(size, bool):  # bool is an int subclass; reject it
+        raise ValueError(f"not a byte size: {size!r}")
+    if isinstance(size, (int, float)):
+        if size < 0:
+            raise ValueError(f"byte size must be >= 0, got {size!r}")
+        return int(size)
+    m = _SIZE_RE.match(str(size))
+    if not m:
+        raise ValueError(f"unparsable byte size {size!r}")
+    value = float(m.group("num")) * 1024 ** _UNIT_EXPONENTS[
+        m.group("unit").upper()
+    ]
+    return int(value)
+
+
+def bytes2human(n: int | float, precision: int = 1) -> str:
+    """Format a byte count for humans (``1536`` -> ``"1.5K"``).
+
+    Integer byte counts below 1K print without a unit; larger values
+    pick the biggest unit that keeps the mantissa >= 1.  Round-trips
+    through :func:`human2bytes` up to the shown precision.
+    """
+    n = float(n)
+    if n < 0:
+        raise ValueError(f"byte size must be >= 0, got {n!r}")
+    for unit in ("P", "T", "G", "M", "K"):
+        scale = 1024 ** _UNIT_EXPONENTS[unit]
+        if n >= scale:
+            value = n / scale
+            text = f"{value:.{precision}f}".rstrip("0").rstrip(".")
+            return f"{text}{unit}"
+    return f"{int(n)}"

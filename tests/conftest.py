@@ -59,6 +59,16 @@ def clean_batch() -> ReadBatch:
 
 
 @pytest.fixture
+def reads_file(tmp_path, genomic_batch):
+    """The genomic batch saved as a FASTA file (service/job-store tests)."""
+    from repro.dna.io import save_read_batch
+
+    path = tmp_path / "reads.fasta"
+    save_read_batch(path, genomic_batch, fmt="fasta")
+    return path
+
+
+@pytest.fixture
 def tiny_profile() -> DatasetProfile:
     return DatasetProfile(
         name="tiny",

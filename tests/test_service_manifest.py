@@ -1,0 +1,145 @@
+"""Tests for repro.service.manifest (stage checkpoints)."""
+
+import json
+
+import pytest
+
+from repro.service.manifest import (
+    Artifact,
+    StageManifest,
+    file_digest,
+    fresh_manifest,
+    read_json,
+    write_json_atomic,
+)
+
+
+@pytest.fixture
+def artifact_file(tmp_path):
+    path = tmp_path / "out.bin"
+    path.write_bytes(b"subgraph bytes")
+    return path
+
+
+class TestFileDigest:
+    def test_stable_and_prefixed(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"hello")
+        d1, d2 = file_digest(path), file_digest(path)
+        assert d1 == d2
+        assert d1.startswith("sha256:")
+
+    def test_content_sensitivity(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(b"x")
+        b.write_bytes(b"y")
+        assert file_digest(a) != file_digest(b)
+
+
+class TestWriteJsonAtomic:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json_atomic(path, {"a": 1})
+        assert read_json(path) == {"a": 1}
+
+    def test_no_temp_litter(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json_atomic(path, {"a": 1})
+        write_json_atomic(path, {"a": 2})
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_corrupt_reads_as_none(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text("{ torn wri")
+        assert read_json(path) is None
+
+    def test_missing_reads_as_none(self, tmp_path):
+        assert read_json(tmp_path / "absent.json") is None
+
+
+class TestStageManifest:
+    def _manifest(self, artifact_file, tmp_path, **over):
+        kwargs = dict(
+            stage="step2_p0003",
+            params={"k": 15, "lam": 2.0},
+            inputs={"partition": "sha256:abc"},
+            outputs=(Artifact.of(artifact_file, tmp_path),),
+            stats={"n_vertices": 7},
+        )
+        kwargs.update(over)
+        return fresh_manifest(**kwargs)
+
+    def test_save_load_round_trip(self, tmp_path, artifact_file):
+        m = self._manifest(artifact_file, tmp_path)
+        path = tmp_path / "m.json"
+        m.save(path)
+        loaded = StageManifest.load(path)
+        assert loaded is not None
+        assert loaded.stage == m.stage
+        assert loaded.params == m.params
+        assert loaded.inputs == m.inputs
+        assert loaded.outputs == m.outputs
+        assert loaded.stats == m.stats
+        assert loaded.created == pytest.approx(m.created)
+
+    def test_valid_when_unchanged(self, tmp_path, artifact_file):
+        m = self._manifest(artifact_file, tmp_path)
+        ok, reason = m.validate({"k": 15, "lam": 2.0},
+                                {"partition": "sha256:abc"}, tmp_path)
+        assert ok, reason
+
+    def test_param_change_invalidates(self, tmp_path, artifact_file):
+        m = self._manifest(artifact_file, tmp_path)
+        ok, reason = m.validate({"k": 17, "lam": 2.0},
+                                {"partition": "sha256:abc"}, tmp_path)
+        assert not ok
+        assert "params" in reason
+
+    def test_input_digest_change_invalidates(self, tmp_path, artifact_file):
+        m = self._manifest(artifact_file, tmp_path)
+        ok, reason = m.validate({"k": 15, "lam": 2.0},
+                                {"partition": "sha256:OTHER"}, tmp_path)
+        assert not ok
+        assert "partition" in reason
+
+    def test_missing_output_invalidates(self, tmp_path, artifact_file):
+        m = self._manifest(artifact_file, tmp_path)
+        artifact_file.unlink()
+        ok, reason = m.validate({"k": 15, "lam": 2.0},
+                                {"partition": "sha256:abc"}, tmp_path)
+        assert not ok
+        assert "missing" in reason
+
+    def test_resized_output_invalidates(self, tmp_path, artifact_file):
+        m = self._manifest(artifact_file, tmp_path)
+        artifact_file.write_bytes(b"truncated!")
+        ok, reason = m.validate({"k": 15, "lam": 2.0},
+                                {"partition": "sha256:abc"}, tmp_path)
+        assert not ok
+        assert "resized" in reason
+
+    def test_corrupt_manifest_loads_as_none(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("not json {{{")
+        assert StageManifest.load(path) is None
+
+    def test_wrong_version_loads_as_none(self, tmp_path, artifact_file):
+        m = self._manifest(artifact_file, tmp_path)
+        path = tmp_path / "m.json"
+        m.save(path)
+        doc = json.loads(path.read_text())
+        doc["version"] = 999
+        path.write_text(json.dumps(doc))
+        assert StageManifest.load(path) is None
+
+
+class TestArtifact:
+    def test_of_records_relative_path_and_size(self, tmp_path, artifact_file):
+        a = Artifact.of(artifact_file, tmp_path)
+        assert a.path == "out.bin"
+        assert a.n_bytes == artifact_file.stat().st_size
+        assert a.digest is None
+
+    def test_of_with_digest(self, tmp_path, artifact_file):
+        a = Artifact.of(artifact_file, tmp_path, digest=True)
+        assert a.digest == file_digest(artifact_file)

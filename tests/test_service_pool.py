@@ -1,0 +1,260 @@
+"""Tests for repro.service.pool (multi-tenant lanes over one pool).
+
+The pool tests patch ``repro.service.pool.run_task`` with a scriptable
+fake *before* the workers fork, so the children inherit it — the same
+monkeypatch-through-fork idiom the backend crash tests use.
+"""
+
+import multiprocessing as mp
+import os
+import threading
+import time
+
+import pytest
+
+import repro.service.pool as pool_mod
+from repro.service.pool import (
+    LaneStalled,
+    ServicePool,
+    SessionCancelled,
+    TasksFailed,
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="fake-task injection monkeypatches the pool module, needs fork",
+)
+
+pytestmark = needs_fork
+
+
+def _fake_run_task(task: dict) -> dict:
+    kind = task.get("kind")
+    if kind == "sleep":
+        time.sleep(float(task["seconds"]))
+        return {"slept": task["seconds"], "value": task.get("value")}
+    if kind == "boom":
+        raise RuntimeError("scripted task failure")
+    if kind == "die":
+        os._exit(43)
+    return {"value": task.get("value")}
+
+
+@pytest.fixture
+def fake_tasks(monkeypatch):
+    monkeypatch.setattr(pool_mod, "run_task", _fake_run_task)
+
+
+class TestSessionBasics:
+    def test_round_trip(self, fake_tasks):
+        with ServicePool(n_workers=2, n_lanes=2) as pool:
+            session = pool.open_session()
+            try:
+                session.submit([{"kind": "echo", "value": i}
+                                for i in range(5)])
+                results = session.wait(stall_timeout=30.0)
+            finally:
+                pool.release(session)
+            assert sorted(r["value"] for r in results.values()) == [0, 1, 2,
+                                                                    3, 4]
+
+    def test_incremental_on_done(self, fake_tasks):
+        seen = []
+        with ServicePool(n_workers=2, n_lanes=1) as pool:
+            session = pool.open_session()
+            try:
+                session.submit([{"kind": "echo", "value": i}
+                                for i in range(4)])
+                session.wait(stall_timeout=30.0,
+                             on_done=lambda tid, r: seen.append(r["value"]))
+            finally:
+                pool.release(session)
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_task_error_contained_to_task(self, fake_tasks):
+        """A raising task fails its session; the worker survives."""
+        with ServicePool(n_workers=1, n_lanes=2) as pool:
+            session = pool.open_session()
+            try:
+                session.submit([{"kind": "boom"}, {"kind": "echo",
+                                                   "value": 9}])
+                with pytest.raises(TasksFailed) as exc_info:
+                    session.wait(stall_timeout=30.0)
+                assert "scripted task failure" in str(exc_info.value)
+            finally:
+                pool.release(session)
+            # the worker that ran "boom" is still serving
+            session2 = pool.open_session()
+            try:
+                session2.submit([{"kind": "echo", "value": 1}])
+                assert len(session2.wait(stall_timeout=30.0)) == 1
+            finally:
+                pool.release(session2)
+            assert pool.n_worker_restarts == 0
+
+    def test_lane_exhaustion_times_out(self, fake_tasks):
+        with ServicePool(n_workers=1, n_lanes=1) as pool:
+            session = pool.open_session()
+            try:
+                with pytest.raises(TimeoutError):
+                    pool.open_session(timeout=0.05)
+            finally:
+                pool.release(session)
+            # released lane is reusable
+            session2 = pool.open_session(timeout=5.0)
+            pool.release(session2)
+
+    def test_weight_validation(self, fake_tasks):
+        with ServicePool(n_workers=1, n_lanes=1) as pool:
+            with pytest.raises(ValueError):
+                pool.open_session(claim_weight=0)
+            session = pool.open_session()
+            try:
+                with pytest.raises(ValueError):
+                    session.set_weight(0)
+            finally:
+                pool.release(session)
+
+
+class TestCancellation:
+    def test_cancel_pending_work(self, fake_tasks):
+        with ServicePool(n_workers=1, n_lanes=1) as pool:
+            session = pool.open_session()
+            session.submit([{"kind": "sleep", "seconds": 0.2}
+                            for _ in range(8)])
+            time.sleep(0.1)  # let a task start
+            session.cancel()
+            with pytest.raises(SessionCancelled):
+                session.wait(stall_timeout=10.0)
+            pool.release(session)
+            # the lane serves the next tenant
+            session2 = pool.open_session()
+            try:
+                session2.submit([{"kind": "echo", "value": 5}])
+                results = session2.wait(stall_timeout=30.0)
+                assert [r["value"] for r in results.values()] == [5]
+            finally:
+                pool.release(session2)
+
+    def test_submit_after_cancel_rejected(self, fake_tasks):
+        with ServicePool(n_workers=1, n_lanes=1) as pool:
+            session = pool.open_session()
+            session.cancel()
+            with pytest.raises(SessionCancelled):
+                session.submit([{"kind": "echo"}])
+            pool.release(session)
+
+
+class TestCrashContainment:
+    def test_worker_death_fails_only_its_session(self, fake_tasks):
+        """One job's worker-killing task must not touch its neighbor."""
+        with ServicePool(n_workers=2, n_lanes=2) as pool:
+            victim = pool.open_session()
+            neighbor = pool.open_session()
+            outcome = {}
+
+            def drive_neighbor():
+                neighbor.submit([{"kind": "sleep", "seconds": 0.05,
+                                  "value": i} for i in range(6)])
+                outcome["neighbor"] = neighbor.wait(stall_timeout=30.0)
+
+            t = threading.Thread(target=drive_neighbor)
+            t.start()
+            try:
+                victim.submit([{"kind": "die"}])
+                with pytest.raises(TasksFailed) as exc_info:
+                    victim.wait(stall_timeout=30.0)
+                assert "died" in str(exc_info.value)
+                t.join(timeout=30.0)
+                assert not t.is_alive()
+                assert len(outcome["neighbor"]) == 6
+                assert pool.n_worker_restarts >= 1
+            finally:
+                pool.release(victim)
+                pool.release(neighbor)
+
+    def test_replacement_worker_serves(self, fake_tasks):
+        with ServicePool(n_workers=1, n_lanes=1) as pool:
+            session = pool.open_session()
+            session.submit([{"kind": "die"}])
+            with pytest.raises(TasksFailed):
+                session.wait(stall_timeout=30.0)
+            pool.release(session)
+            session2 = pool.open_session()
+            try:
+                session2.submit([{"kind": "echo", "value": 1}])
+                assert len(session2.wait(stall_timeout=30.0)) == 1
+            finally:
+                pool.release(session2)
+
+
+class TestFairness:
+    def test_claim_batches_follow_weights(self, fake_tasks):
+        """Weight-2 tenants are served two tasks per worker visit."""
+        with ServicePool(n_workers=2, n_lanes=2) as pool:
+            heavy = pool.open_session(claim_weight=2)
+            light = pool.open_session(claim_weight=1)
+            try:
+                tasks = [{"kind": "sleep", "seconds": 0.03, "value": i}
+                         for i in range(10)]
+                heavy.submit(tasks)
+                light.submit(tasks)
+                heavy.wait(stall_timeout=30.0)
+                light.wait(stall_timeout=30.0)
+                heavy_batches = [b["n_tasks"]
+                                 for b in heavy.describe()["claim_batches"]]
+                light_batches = [b["n_tasks"]
+                                 for b in light.describe()["claim_batches"]]
+            finally:
+                pool.release(heavy)
+                pool.release(light)
+        assert all(b == 1 for b in light_batches)
+        assert max(heavy_batches) == 2  # backlog served in weighted pairs
+        assert sum(heavy_batches) == 10
+        assert sum(light_batches) == 10
+
+    def test_describe_exposes_weight(self, fake_tasks):
+        with ServicePool(n_workers=1, n_lanes=1) as pool:
+            session = pool.open_session(claim_weight=3)
+            try:
+                assert session.describe()["claim_weight"] == 3
+                session.set_weight(5)
+                assert session.describe()["claim_weight"] == 5
+            finally:
+                pool.release(session)
+
+
+class TestStallDetection:
+    def test_stall_raises_instead_of_hanging(self, fake_tasks):
+        with ServicePool(n_workers=1, n_lanes=1) as pool:
+            session = pool.open_session()
+            try:
+                session.submit([{"kind": "sleep", "seconds": 30.0}])
+                with pytest.raises(LaneStalled):
+                    session.wait(stall_timeout=0.3)
+            finally:
+                pool.release(session)
+
+
+class TestPoolLifecycle:
+    def test_describe(self, fake_tasks):
+        with ServicePool(n_workers=2, n_lanes=3) as pool:
+            doc = pool.describe()
+            assert doc["n_workers"] == 2
+            assert doc["free_lanes"] == 3
+            session = pool.open_session()
+            assert pool.describe()["busy_lanes"] == [session.lane_id]
+            pool.release(session)
+
+    def test_double_close_is_safe(self, fake_tasks):
+        pool = ServicePool(n_workers=1, n_lanes=1).start()
+        pool.close()
+        pool.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServicePool(n_workers=0)
+        with pytest.raises(ValueError):
+            ServicePool(n_lanes=0)
+        with pytest.raises(RuntimeError):
+            ServicePool(n_workers=1, n_lanes=1).open_session()

@@ -16,6 +16,11 @@ from __future__ import annotations
 import gc
 import multiprocessing as mp
 import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -160,6 +165,62 @@ def test_successful_bigk_run_leaves_no_segments(clean_batch):
         BIGK_CFG.with_(backend="processes", n_workers=2, pipeline=True)
     ).build_graph(clean_batch)
     assert result.graph.n_vertices > 0
+    assert _segments() - before == set()
+
+
+_SIGNAL_CHILD = """\
+import sys, time
+from repro.core.config import ParaHashConfig
+from repro.core.parahash import ParaHash
+from repro.dna.simulate import random_genome, simulate_reads
+from repro.parallel import backend as backend_mod
+
+marker = sys.argv[1]
+
+def _parked_step2(job, sizing, preaggregate):
+    open(marker, "w").write("started")
+    time.sleep(120)
+    raise RuntimeError("unreachable")
+
+backend_mod._process_step2_job = _parked_step2
+reads = simulate_reads(random_genome(3000, seed=11), n_reads=500,
+                       read_length=80, mean_errors=1.0, seed=12)
+cfg = ParaHashConfig(k=21, p=9, n_partitions=16, n_input_pieces=4)
+ParaHash(cfg.with_(backend="processes", n_workers=2,
+                   pipeline=True)).build_graph(reads)
+"""
+
+
+@needs_dev_shm
+@needs_fork
+@pytest.mark.parametrize("signo", [signal.SIGTERM, signal.SIGINT])
+def test_signal_mid_run_leaves_no_segments(tmp_path, signo):
+    """SIGTERM/SIGINT while workers hold shm: the parent's signal path
+    must terminate the pool and unlink every owned segment before
+    exiting — no operator Ctrl-C or service shutdown may leak."""
+    marker = tmp_path / "step2_started"
+    env = dict(os.environ,
+               PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+    before = _segments()
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _SIGNAL_CHILD, str(marker)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while not marker.exists():
+            if proc.poll() is not None:
+                pytest.fail(f"child exited early ({proc.returncode})")
+            if time.monotonic() > deadline:
+                pytest.fail("step2 never started")
+            time.sleep(0.02)
+        os.kill(proc.pid, signo)
+        proc.wait(timeout=60.0)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on fail
+            proc.kill()
+            proc.wait()
+    assert proc.returncode != 0
     assert _segments() - before == set()
 
 
