@@ -21,7 +21,8 @@ import numpy as np
 
 from ..concurrentsub.atomics import AtomicInt64Array, TracedLock
 from ..concurrentsub.hashfunc import mix64, mix64_int
-from ..core.hashtable import SPIN_LIMIT, _mon_event, _trace
+from ..core import hashtable as _ht
+from ..core.hashtable import PROTOCOLS, SPIN_LIMIT, _mon_event, _trace
 from ..core.estimator import next_power_of_two
 from ..core.hashtable import EMPTY, LOCKED, OCCUPIED, HashStats, TableFullError
 from ..graph.dbg import N_SLOTS
@@ -31,6 +32,15 @@ from .store import BigDeBruijnGraph
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _GOLDEN_INT = 0x9E3779B97F4A7C15
 _MASK64 = (1 << 64) - 1
+
+# Lock-free tag-plane encoding.  A two-word key cannot live in one
+# atomic word, so the claim CAS installs a *fingerprint* of the key
+# plus a claim bit; the publish store sets the publication bit after
+# both key words are written.  All bits stay below 2^63 so the tag is a
+# non-negative int64.
+_FP_MASK = (1 << 61) - 1  # fingerprint: bits 0..60 of hash_planes
+_CLAIM_BIT = 1 << 61
+_PUB_BIT = 1 << 62
 
 
 def hash_planes(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
@@ -45,10 +55,24 @@ def hash_planes_int(hi: int, lo: int) -> int:
 
 
 class TwoWordHashTable:
-    """Fixed-capacity open-addressing table over (hi, lo) uint64 keys."""
+    """Fixed-capacity open-addressing table over (hi, lo) uint64 keys.
 
-    def __init__(self, capacity: int, k: int) -> None:
+    ``protocol="locked"`` (default) runs the paper's state-transfer
+    partial locking.  ``protocol="lockfree"`` removes the LOCKED state:
+    the claim CAS installs a 61-bit key fingerprint (plus a claim bit)
+    into the atomic word, the winner writes both key words plainly, and
+    a publication bit is set last.  Readers whose fingerprint mismatches
+    probe on *immediately* — they never wait; only a fingerprint match
+    without the publication bit (the claim winner still writing its key
+    words) waits for publication before the full key compare.
+    """
+
+    def __init__(self, capacity: int, k: int, protocol: str = "locked") -> None:
         check_2w_k(k)
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                f"protocol must be one of {PROTOCOLS}, got {protocol!r}"
+            )
         self.capacity = next_power_of_two(max(2, capacity))
         self._mask = np.uint64(self.capacity - 1)
         self.k = k
@@ -57,10 +81,11 @@ class TwoWordHashTable:
         self.keys_lo = np.zeros(self.capacity, dtype=np.uint64)  # checks: allow[R1] construction: arrays are private until the table is shared
         self.counts = np.zeros((self.capacity, N_SLOTS), dtype=np.uint32)  # checks: allow[R1] construction: arrays are private until the table is shared
         self.n_occupied = 0
-        self._init_runtime()
+        self._init_runtime(protocol)
 
-    def _init_runtime(self) -> None:
+    def _init_runtime(self, protocol: str = "locked") -> None:
         """State shared by both constructors (stats + lazy threaded locks)."""
+        self.protocol = protocol
         self.stats = HashStats()
         self._atomic_state: AtomicInt64Array | None = None
         self._count_locks: list[TracedLock] | None = None
@@ -71,7 +96,8 @@ class TwoWordHashTable:
     @classmethod
     def from_views(cls, k: int, state: np.ndarray, keys_hi: np.ndarray,
                    keys_lo: np.ndarray, counts: np.ndarray,
-                   n_occupied: int | None = None) -> "TwoWordHashTable":
+                   n_occupied: int | None = None,
+                   protocol: str = "locked") -> "TwoWordHashTable":
         """Construct a table over externally owned buffers (no copy).
 
         Two-word twin of
@@ -81,6 +107,10 @@ class TwoWordHashTable:
         without pickling.  The caller owns buffer lifetime.
         """
         check_2w_k(k)
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                f"protocol must be one of {PROTOCOLS}, got {protocol!r}"
+            )
         capacity = int(state.size)
         if capacity < 2 or capacity & (capacity - 1):
             raise ValueError("state size must be a power of two >= 2")
@@ -99,7 +129,7 @@ class TwoWordHashTable:
             int((state == OCCUPIED).sum()) if n_occupied is None
             else int(n_occupied)
         )
-        table._init_runtime()
+        table._init_runtime(protocol)
         return table
 
     def detach_views(self) -> None:
@@ -121,7 +151,8 @@ class TwoWordHashTable:
 
     def insert_batch(self, hi: np.ndarray, lo: np.ndarray, slots: np.ndarray,
                      counts: np.ndarray | None = None,
-                     chunk: int = 1 << 20) -> None:
+                     chunk: int = 1 << 20,
+                     on_full: str = "raise") -> np.ndarray | None:
         """Apply ``(hi, lo, slot)`` observations, vectorized.
 
         With ``counts`` given (the pre-aggregation path of
@@ -132,7 +163,14 @@ class TwoWordHashTable:
         protocol would have executed, exactly as the one-word
         :meth:`repro.core.hashtable.ConcurrentHashTable.insert_batch`
         does — ``HashStats.lock_reduction`` is unchanged by aggregation.
+
+        ``on_full="return"`` mirrors the one-word table: instead of
+        raising on a full table, the unplaced observation indices are
+        returned with their upfront metering rolled back (the sharded
+        layout's neighbor-fallback path).
         """
+        if on_full not in ("raise", "return"):
+            raise ValueError(f"on_full must be 'raise' or 'return', got {on_full!r}")
         hi = np.ascontiguousarray(hi, dtype=np.uint64).ravel()
         lo = np.ascontiguousarray(lo, dtype=np.uint64).ravel()
         slots = np.ascontiguousarray(slots, dtype=np.int64).ravel()
@@ -144,18 +182,44 @@ class TwoWordHashTable:
                 raise ValueError("counts must parallel hi, lo and slots")
             if counts.size and int(counts.min()) < 1:
                 raise ValueError("every aggregated count must be >= 1")
+        leftovers: list[np.ndarray] = []
         for start in range(0, hi.size, chunk):
-            self._insert_chunk(
+            left = self._insert_chunk(
                 hi[start:start + chunk], lo[start:start + chunk],
                 slots[start:start + chunk],
                 None if counts is None else counts[start:start + chunk],
+                on_full=on_full,
             )
+            if left is not None and left.size:
+                leftovers.append(left + start)
         if self._atomic_state is not None:
             # Keep threaded-mode flags in sync when a quiescent table
             # mixes batch and threaded insertions.
-            self._atomic_state.raw()[:] = self.state  # checks: allow[R1,R3] single-threaded resync
+            self._resync_atomic()
+        if on_full == "return":
+            return (np.concatenate(leftovers) if leftovers
+                    else np.empty(0, dtype=np.int64))
+        return None
 
-    def _insert_chunk(self, hi, lo, slots, weights=None) -> None:
+    def _resync_atomic(self) -> None:
+        """Rebuild the atomic plane from the mirror (quiescent tables only).
+
+        Protocol-dependent encoding: occupancy flags under ``locked``,
+        published fingerprint tags under ``lockfree``.
+        """
+        assert self._atomic_state is not None
+        raw = self._atomic_state.raw()  # checks: allow[R3] single-threaded resync
+        if self.protocol == "lockfree":
+            occ = self.state == OCCUPIED  # checks: allow[R1] single-threaded resync
+            fp = hash_planes(self.keys_hi[occ], self.keys_lo[occ])  # checks: allow[R1] single-threaded resync
+            raw[:] = 0
+            raw[occ] = ((fp & np.uint64(_FP_MASK))
+                        | np.uint64(_CLAIM_BIT | _PUB_BIT)).astype(np.int64)
+        else:
+            raw[:] = self.state  # checks: allow[R1] single-threaded resync
+
+    def _insert_chunk(self, hi, lo, slots, weights=None,
+                      on_full: str = "raise") -> np.ndarray | None:
         stats = self.stats
         n = hi.size
         n_ops = n if weights is None else int(weights.sum())
@@ -168,6 +232,12 @@ class TwoWordHashTable:
         while pending.size:
             rounds += 1
             if rounds > self.capacity + 2:
+                if on_full == "return":
+                    n_left = (pending.size if weights is None
+                              else int(weights[pending].sum()))
+                    stats.ops -= n_left  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+                    stats.count_increments -= n_left  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+                    return pending.copy()
                 raise TableFullError(
                     f"probe wrapped a table of capacity {self.capacity}"
                 )
@@ -217,7 +287,8 @@ class TwoWordHashTable:
                         lost += int(weights[pending[losers]].sum())
                 self.n_occupied += wpos.size  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
                 stats.inserts += wpos.size  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
-                stats.key_locks += wpos.size  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
+                if self.protocol == "locked":
+                    stats.key_locks += wpos.size  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
                 stats.cas_failures += lost  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
             if weights is None:
                 stats.probes += int(mismatch.sum())  # checks: allow[R2] single-owner batch path: each partition's table is filled by exactly one process/thread
@@ -239,7 +310,15 @@ class TwoWordHashTable:
             if self._atomic_state is not None:
                 return
             atomic = AtomicInt64Array(self.capacity, n_stripes=256)
-            atomic.raw()[:] = self.state.astype(np.int64)  # checks: allow[R3] pre-publication init under _init_lock
+            raw = atomic.raw()  # checks: allow[R3] pre-publication init under _init_lock
+            if self.protocol == "lockfree":
+                occ = self.state == OCCUPIED
+                fp = hash_planes(self.keys_hi[occ], self.keys_lo[occ])
+                raw[:] = 0
+                raw[occ] = ((fp & np.uint64(_FP_MASK))
+                            | np.uint64(_CLAIM_BIT | _PUB_BIT)).astype(np.int64)
+            else:
+                raw[:] = self.state.astype(np.int64)
             self._count_locks = [
                 TracedLock(f"count_lock[{i}]") for i in range(256)
             ]
@@ -269,11 +348,16 @@ class TwoWordHashTable:
         stats.ops += 1
         stats.count_increments += 1
         hi, lo = split_int(int(kmer), self.k)
+        if self.protocol == "lockfree":
+            self._insert_one_lockfree(hi, lo, slot, stats)
+            return
         h = hash_planes_int(hi, lo) & (self.capacity - 1)
         offset = 0
         spins = 0
         while True:
             if offset >= self.capacity:
+                stats.ops -= 1
+                stats.count_increments -= 1
                 raise TableFullError(
                     f"probe wrapped a table of capacity {self.capacity}"
                 )
@@ -310,6 +394,77 @@ class TwoWordHashTable:
                 stats.updates += 1
                 self._add_count(pos, slot)
                 return
+            offset += 1
+            stats.probes += 1
+
+    def _insert_one_lockfree(self, hi: int, lo: int, slot: int,
+                             stats: HashStats) -> None:
+        """CAS-publish protocol for a genuinely multi-word key.
+
+        The atomic word cannot hold the key, so the claim CAS installs
+        ``_CLAIM_BIT | fingerprint`` (61 bits of the slot hash).  The
+        winner writes both key words plainly — the claim CAS already
+        serialized ownership of the slot — then stores ``_PUB_BIT`` as
+        the release fence.  Readers whose fingerprint mismatches probe
+        on immediately (no waiting on other keys' publications); only a
+        fingerprint match without the publication bit spins, and only
+        until the winner's single publish store lands.  There is no
+        LOCKED state and no unlock path.
+        """
+        atomic = self._atomic_state
+        assert atomic is not None
+        hv = hash_planes_int(hi, lo)
+        fp = hv & _FP_MASK
+        claim = _CLAIM_BIT | fp
+        pub = claim | _PUB_BIT
+        h = hv & (self.capacity - 1)
+        offset = 0
+        spins = 0
+        while True:
+            if offset >= self.capacity:
+                stats.ops -= 1
+                stats.count_increments -= 1
+                raise TableFullError(
+                    f"probe wrapped a table of capacity {self.capacity}"
+                )
+            pos = (h + offset) & (self.capacity - 1)
+            st = atomic.load(pos)
+            if st == EMPTY:
+                if atomic.compare_and_swap(pos, EMPTY, claim):
+                    stats.inserts += 1
+                    _trace("keys_hi", id(self), pos, "write")
+                    _trace("keys_lo", id(self), pos, "write")
+                    self.keys_hi[pos] = np.uint64(hi)
+                    # Torn window: keys_hi is visible, keys_lo is not;
+                    # only the _PUB_BIT wait below keeps readers out.
+                    _mon_event("lf_prepub_gap", pos)
+                    self.keys_lo[pos] = np.uint64(lo)
+                    atomic.store(pos, pub)
+                    self._add_count(pos, slot)
+                    with self._occupied_lock:
+                        _trace("n_occupied", id(self), 0, "write")
+                        self.n_occupied += 1
+                    return
+                stats.cas_failures += 1
+                continue
+            if (st & _FP_MASK) != fp:
+                offset += 1
+                stats.probes += 1
+                continue
+            if not (st & _PUB_BIT) and "lf_torn_read" not in _ht._SEEDED_BUGS:
+                stats.blocked_reads += 1
+                spins += 1
+                if spins >= SPIN_LIMIT:
+                    # Yield so a descheduled claim winner can publish.
+                    time.sleep(0)
+                continue
+            _trace("keys_hi", id(self), pos, "read-acq")
+            _trace("keys_lo", id(self), pos, "read-acq")
+            if int(self.keys_hi[pos]) == hi and int(self.keys_lo[pos]) == lo:  # checks: allow[R1] immutable after publication-bit store
+                stats.updates += 1
+                self._add_count(pos, slot)
+                return
+            # Fingerprint collision with a different key: probe on.
             offset += 1
             stats.probes += 1
 
@@ -353,7 +508,12 @@ class TwoWordHashTable:
     def _sync_mirror(self) -> None:
         """Re-sync the single-threaded numpy mirror after a fork-join."""
         if self._atomic_state is not None:
-            self.state[:] = self._atomic_state.snapshot().astype(self.state.dtype)  # checks: allow[R1] single-threaded resync after fork-join
+            snap = self._atomic_state.snapshot()
+            if self.protocol == "lockfree":
+                # Tag plane -> occupancy flags (any nonzero tag is a
+                # published slot once all writers joined).
+                snap = np.where(snap != 0, OCCUPIED, EMPTY)
+            self.state[:] = snap.astype(self.state.dtype)  # checks: allow[R1] single-threaded resync after fork-join
 
     # -- queries --------------------------------------------------------------------
 
@@ -361,17 +521,25 @@ class TwoWordHashTable:
         """One occupancy flag, via the atomic array while threads may run."""
         atomic = self._atomic_state
         if atomic is not None:
-            return atomic.load(pos)
+            raw = atomic.load(pos)
+            if self.protocol == "lockfree":
+                return OCCUPIED if raw != EMPTY else EMPTY
+            return raw
         return int(self.state[pos])  # checks: allow[R1] single-threaded mode only (atomic path taken while threads run)
 
     def _state_view(self) -> np.ndarray:
         """All occupancy flags; see ConcurrentHashTable._state_view."""
         if self._atomic_state is not None:
-            return self._atomic_state.snapshot().astype(np.int8)
+            snap = self._atomic_state.snapshot()
+            if self.protocol == "lockfree":
+                snap = np.where(snap != 0, OCCUPIED, EMPTY)
+            return snap.astype(np.int8)
         return self.state  # checks: allow[R1] single-threaded mode only (atomic snapshot taken while threads run)
 
     def lookup(self, kmer: int) -> np.ndarray | None:
         hi, lo = split_int(int(kmer), self.k)
+        if self.protocol == "lockfree" and self._atomic_state is not None:
+            return self._lookup_lockfree(hi, lo)
         h = hash_planes_int(hi, lo) & (self.capacity - 1)
         for offset in range(self.capacity):
             pos = (h + offset) & (self.capacity - 1)
@@ -383,6 +551,39 @@ class TwoWordHashTable:
                         and int(self.keys_lo[pos]) == lo):  # checks: allow[R1] immutable after OCCUPIED publication
                     return self.counts[pos].copy()  # checks: allow[R1] racy snapshot of monotonic counters
         return None
+
+    def _lookup_lockfree(self, hi: int, lo: int) -> np.ndarray | None:
+        """Live lock-free probe over the fingerprint tag plane."""
+        atomic = self._atomic_state
+        assert atomic is not None
+        hv = hash_planes_int(hi, lo)
+        fp = hv & _FP_MASK
+        h = hv & (self.capacity - 1)
+        offset = 0
+        spins = 0
+        while True:
+            if offset >= self.capacity:
+                return None
+            pos = (h + offset) & (self.capacity - 1)
+            st = atomic.load(pos)
+            if st == EMPTY:
+                return None
+            if (st & _FP_MASK) != fp:
+                # Another key's slot: probe on without waiting on its
+                # publication.
+                offset += 1
+                continue
+            if not (st & _PUB_BIT):
+                # Fingerprint match but the claim winner is still
+                # writing its key words; wait for the publication bit.
+                spins += 1
+                if spins >= SPIN_LIMIT:
+                    time.sleep(0)
+                continue
+            if (int(self.keys_hi[pos]) == hi  # checks: allow[R1] immutable after publication-bit store
+                    and int(self.keys_lo[pos]) == lo):  # checks: allow[R1] immutable after publication-bit store
+                return self.counts[pos].copy()  # checks: allow[R1] racy snapshot of monotonic counters
+            offset += 1
 
     def to_graph(self) -> BigDeBruijnGraph:
         occ = self._state_view() == OCCUPIED

@@ -59,7 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "model",
         help="explicit-state model checking of the protocol models")
-    p.add_argument("--protocol", choices=["insert", "workqueue", "all"],
+    p.add_argument("--protocol",
+                   choices=["insert", "workqueue", "cas_publish", "all"],
                    default="all")
     p.add_argument("--writers", type=int, default=3,
                    help="insert model: concurrent writers (CI bound: 3)")
@@ -221,8 +222,8 @@ def cmd_model(args: argparse.Namespace) -> int:
             tool="model (corpus)", noun="refutation failure")
 
     # -- verification mode: the fixed protocols ----------------------------
-    protocols = (["insert", "workqueue"] if args.protocol == "all"
-                 else [args.protocol])
+    protocols = (["insert", "workqueue", "cas_publish"]
+                 if args.protocol == "all" else [args.protocol])
     for protocol in protocols:
         model = build_model(protocol, writers=writers,
                             consumers=consumers, items=items)

@@ -1,0 +1,176 @@
+"""Abstract model of the lock-free CAS-publish insert protocol.
+
+The ``lockfree`` insert protocol has no LOCKED intermediate state: a
+writer claims a slot by CASing the atomic word directly (one-word
+tables CAS the biased key itself, so claim *is* publication; two-word
+tables CAS a fingerprint tag with a CLAIM bit, write the two plain key
+words, then store the tag with the PUB bit).  The split-word variant is
+the one with a protocol obligation on the *read* side: a probe that
+lands on a claimed-but-unpublished slot must wait for the PUB bit
+before trusting the key words, otherwise it can read a torn
+(half-written) key, conclude "different key", and insert a duplicate of
+the same key into another slot.
+
+``n_writers`` threads insert the *same* key into a one-slot abstract
+table.  The global state is the tuple::
+
+    (tag, words, count, occ, dup, threads)
+
+``tag`` is the atomic word (FREE → CLAIM → PUB, never backwards),
+``words`` the number of plain key words written so far (the real table
+writes ``keys_hi`` then ``keys_lo``), and each thread is a bare pc.
+Exactly one thread wins the FREE→CLAIM CAS; the rest either wait for
+PUB (modeled as a disabled guard — progress comes from the winner) or
+take the atomic fetch-add update path once PUB is visible.
+
+Invariants: at most one thread between CLAIM and PUB, each key word is
+written exactly once, and the key is never duplicated into a second
+slot.  The terminal check requires the published tag and the counter to
+equal what ``n_writers`` sequential operations would produce.
+
+Variants (each maps to a seeded bug in the real code):
+
+* ``torn_read`` — a probe observing CLAIM reads the key words without
+  waiting for PUB (bigk table seeded bug ``lf_torn_read``): landing in
+  the claim→publish gap it sees a torn key, mis-judges the slot as
+  holding a different key, and duplicates the vertex.
+
+The one-word table needs no separate model: its single CAS makes claim
+and publication the same transition, so the claim→publish gap — the
+only window this protocol must defend — has zero width there.
+"""
+
+from __future__ import annotations
+
+from ..model import Action, ProtocolModel
+
+FREE, CLAIM, PUB = 0, 1, 2
+
+#: Total plain key words the winner writes (keys_hi + keys_lo).
+KEY_WORDS = 2
+
+# Per-thread program counters.
+TRY, WHI, WLO, PUBLISH, COUNT, DONE = range(6)
+
+CAS_PUBLISH_VARIANTS = ("torn_read",)
+
+#: pcs inside the claim→publish gap (claimed, key words not yet trusted).
+_GAP = (WHI, WLO, PUBLISH)
+
+
+def _upd(state, i, pc, tag=None, words=None, count=None, occ=None,
+         dup=None):
+    """Successor state with thread ``i`` at ``pc`` and the given globals."""
+    t0, w, c, o, d, threads = state
+    t = list(threads)
+    t[i] = pc
+    return (
+        t0 if tag is None else tag,
+        w if words is None else words,
+        c if count is None else count,
+        o if occ is None else occ,
+        d if dup is None else dup,
+        tuple(t),
+    )
+
+
+class CasPublishProtocol(ProtocolModel):
+    """The lock-free CAS-publish state machine for same-key threads."""
+
+    def __init__(self, n_writers: int = 3, variant: str | None = None) -> None:
+        if n_writers < 1:
+            raise ValueError("n_writers must be >= 1")
+        if variant is not None and variant not in CAS_PUBLISH_VARIANTS:
+            raise ValueError(f"unknown cas_publish variant {variant!r}")
+        self.n = n_writers
+        self.variant = variant
+        self.name = f"cas_publish[{variant or 'fixed'}] x{n_writers}w"
+
+    def initial(self) -> tuple:
+        return (FREE, 0, 0, 0, 0, tuple(TRY for _ in range(self.n)))
+
+    def enabled(self, state: tuple) -> list[Action]:
+        tag, words, count, occ, dup, threads = state
+        v = self.variant
+        out: list[Action] = []
+        for i, pc in enumerate(threads):
+            p = f"w{i}"
+            if pc == TRY:
+                if tag == FREE:
+                    # Claim = one CAS on the atomic word; no LOCKED
+                    # state exists, losers re-probe the same word.
+                    out.append(Action(p, "cas_claim",
+                                      lambda s, i=i: _upd(
+                                          s, i, WHI, tag=CLAIM)))
+                elif tag == PUB:
+                    # Published: the key words are trusted, they match,
+                    # the update is a single atomic fetch-add.
+                    out.append(Action(p, "read_key_fetch_add",
+                                      lambda s, i=i: _upd(
+                                          s, i, DONE, count=s[2] + 1)))
+                elif v == "torn_read":
+                    # The bug: read the key words NOW instead of
+                    # waiting for PUB.  Complete words happen to match;
+                    # torn words read as a different key and the thread
+                    # re-inserts the same vertex into another slot.
+                    if words == KEY_WORDS:
+                        out.append(Action(p, "torn_read_lucky",
+                                          lambda s, i=i: _upd(
+                                              s, i, DONE, count=s[2] + 1)))
+                    else:
+                        out.append(Action(p, "torn_read_duplicate",
+                                          lambda s, i=i: _upd(
+                                              s, i, DONE, count=s[2] + 1,
+                                              occ=s[3] + 1, dup=s[4] + 1)))
+                # tag == CLAIM (fixed build): waiting on the PUB bit —
+                # blocked on the guard; the winner's publish is what
+                # makes progress.
+            elif pc == WHI:
+                out.append(Action(p, "write_key_hi",
+                                  lambda s, i=i: _upd(
+                                      s, i, WLO, words=s[1] + 1)))
+            elif pc == WLO:
+                out.append(Action(p, "write_key_lo",
+                                  lambda s, i=i: _upd(
+                                      s, i, PUBLISH, words=s[1] + 1)))
+            elif pc == PUBLISH:
+                out.append(Action(p, "store_pub",
+                                  lambda s, i=i: _upd(
+                                      s, i, COUNT, tag=PUB, occ=s[3] + 1)))
+            elif pc == COUNT:
+                out.append(Action(p, "fetch_add_count",
+                                  lambda s, i=i: _upd(
+                                      s, i, DONE, count=s[2] + 1)))
+        return out
+
+    def invariant(self, state: tuple) -> str | None:
+        tag, words, count, occ, dup, threads = state
+        in_gap = sum(1 for pc in threads if pc in _GAP)
+        if in_gap > 1:
+            return ("two writers inside the claim→publish gap "
+                    "(the claim is not an atomic CAS)")
+        if words > KEY_WORDS:
+            return (f"key words written {words} times for {KEY_WORDS} words "
+                    f"(write-once publication broken)")
+        if dup:
+            return ("same key inserted into two slots: a probe read the "
+                    "key words inside the claim→publish gap (torn read of "
+                    "an unpublished key)")
+        return None
+
+    def is_terminal(self, state: tuple) -> bool:
+        return all(pc == DONE for pc in state[5])
+
+    def terminal_check(self, state: tuple) -> str | None:
+        tag, words, count, occ, dup, threads = state
+        if count != self.n:
+            return (f"lost counter update: {count} recorded for "
+                    f"{self.n} observations")
+        if occ != 1:
+            return f"n_occupied is {occ} but exactly 1 slot is occupied"
+        if words != KEY_WORDS:
+            return (f"{words} key words written at termination "
+                    f"(expected {KEY_WORDS})")
+        if tag != PUB:
+            return "run completed without storing the PUB bit"
+        return None

@@ -89,6 +89,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measure this host's kernel rates and size claim "
                         "weights from the fitted device model "
                         "(processes backend)")
+    p.add_argument("--table-layout", choices=["flat", "sharded"],
+                   default="flat",
+                   help="hash-table layout: one flat table per partition, "
+                        "or hash-prefix shards with private lock regions")
+    p.add_argument("--insert-protocol", choices=["locked", "lockfree"],
+                   default="locked",
+                   help="per-slot insert protocol: the paper's "
+                        "EMPTY->LOCKED->OCCUPIED state transfer, or the "
+                        "single-CAS lock-free publish")
+    p.add_argument("--shards", type=int, default=8,
+                   help="shard count for --table-layout sharded "
+                        "(power of two)")
     p.add_argument("--output", required=True, help="graph file (.phdbg)")
     p.add_argument("--tsv", help="also export adjacency lists as TSV")
     p.add_argument("--min-multiplicity", type=int, default=1,
@@ -188,7 +200,8 @@ def cmd_build(args: argparse.Namespace) -> int:
         k=args.k, p=args.p, n_partitions=args.partitions,
         n_threads=args.threads, backend=args.backend, n_workers=args.workers,
         pipeline=args.pipeline, preaggregate=args.preaggregate,
-        calibrate=args.calibrate,
+        calibrate=args.calibrate, table_layout=args.table_layout,
+        insert_protocol=args.insert_protocol, n_shards=args.shards,
     )
     result = ParaHash(config).build_graph(
         reads, workdir=Path(args.workdir) if args.workdir else None
@@ -226,7 +239,8 @@ def _build_bigk(args: argparse.Namespace, reads) -> int:
         k=args.k, p=min(args.p, 31), n_partitions=args.partitions,
         n_threads=args.threads, backend=args.backend, n_workers=args.workers,
         pipeline=args.pipeline, preaggregate=args.preaggregate,
-        calibrate=args.calibrate,
+        calibrate=args.calibrate, table_layout=args.table_layout,
+        insert_protocol=args.insert_protocol, n_shards=args.shards,
     )
     result = ParaHash(config).build_graph(
         reads, workdir=Path(args.workdir) if args.workdir else None

@@ -80,8 +80,14 @@ SPIN_LIMIT = 64
 # in this file (PR 1) to prove the detector catches them.  Each name
 # gates the *old* faulty code path; production code never enables them.
 
-_KNOWN_BUGS = frozenset({"shared_stats", "numpy_publish", "tas_claim"})
+_KNOWN_BUGS = frozenset(
+    {"shared_stats", "numpy_publish", "tas_claim", "lf_torn_read"}
+)
 _SEEDED_BUGS: frozenset = frozenset()
+
+#: Insert protocols selectable per table (mirrors
+#: :data:`repro.core.config.INSERT_PROTOCOLS`).
+PROTOCOLS = ("locked", "lockfree")
 
 
 @contextmanager
@@ -103,6 +109,14 @@ def seed_bugs(*names: str):
     stores LOCKED, so both enter the exclusive key-write window (the
     ``insert[tas_claim]`` variant of ``repro.checks.model``, reproduced
     deterministically via the ``tas_gap`` control point).
+
+    ``lf_torn_read`` — in the two-word lock-free reader
+    (:mod:`repro.bigk.table`), skip the wait on the PUB bit: a reader
+    that sees a claimed-but-unpublished tag compares the still-unwritten
+    key words, falsely mismatches, and probes on to insert a duplicate
+    vertex (the ``cas_publish[torn_read]`` variant of
+    ``repro.checks.model``, reproduced via the ``lf_prepub_gap``
+    control point).
     """
     unknown = set(names) - _KNOWN_BUGS
     if unknown:
@@ -185,16 +199,38 @@ class HashStats:
         )
 
 
-class ConcurrentHashTable:
-    """Fixed-capacity open-addressing table with state-transfer locking."""
+def _check_protocol(protocol: str, k: int) -> None:
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"protocol must be one of {PROTOCOLS}, got {protocol!r}")
+    if protocol == "lockfree" and 2 * k > 62:
+        # The lock-free claim CAS installs the biased key (kmer + 1)
+        # into a signed 64-bit atomic word, so the key must fit in 62
+        # bits.  k = 32 (the one legal width beyond this) takes the
+        # two-word table anyway.
+        raise ValueError("lockfree protocol needs 2k <= 62 (one-word keys)")
 
-    def __init__(self, capacity: int, k: int, counts_dtype=np.uint32) -> None:
+
+class ConcurrentHashTable:
+    """Fixed-capacity open-addressing table with selectable protocol.
+
+    ``protocol="locked"`` (default) runs the paper's state-transfer
+    partial locking.  ``protocol="lockfree"`` removes the LOCKED
+    intermediate state entirely: the claim CAS installs the *biased key*
+    (``kmer + 1``, so 0 stays the EMPTY sentinel) into the atomic word —
+    claiming and publishing are one instruction, readers compare the tag
+    and never wait.  Lock-free requires one-word keys strictly below
+    ``2^63`` (``k <= 31``), which every one-word kmer satisfies.
+    """
+
+    def __init__(self, capacity: int, k: int, counts_dtype=np.uint32,
+                 protocol: str = "locked") -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
         if 2 * k > 64:
             raise ValueError(
                 "this table stores one-word (uint64) keys; need 2k <= 64"
             )
+        _check_protocol(protocol, k)
         self.capacity = next_power_of_two(max(2, capacity))
         self._mask = np.uint64(self.capacity - 1)
         self.k = k
@@ -202,10 +238,11 @@ class ConcurrentHashTable:
         self.keys = np.zeros(self.capacity, dtype=np.uint64)
         self.counts = np.zeros((self.capacity, N_SLOTS), dtype=counts_dtype)
         self.n_occupied = 0
-        self._init_runtime()
+        self._init_runtime(protocol)
 
-    def _init_runtime(self) -> None:
+    def _init_runtime(self, protocol: str = "locked") -> None:
         """State shared by both constructors (stats + lazy threaded locks)."""
+        self.protocol = protocol
         self.stats = HashStats()
         # Threaded-path machinery (created lazily, under _init_lock).
         self._atomic_state: AtomicInt64Array | None = None
@@ -216,8 +253,8 @@ class ConcurrentHashTable:
 
     @classmethod
     def from_views(cls, k: int, state: np.ndarray, keys: np.ndarray,
-                   counts: np.ndarray,
-                   n_occupied: int | None = None) -> "ConcurrentHashTable":
+                   counts: np.ndarray, n_occupied: int | None = None,
+                   protocol: str = "locked") -> "ConcurrentHashTable":
         """Construct a table over externally owned buffers (no copy).
 
         This is the pickle-free attach path of the process backend: the
@@ -231,6 +268,7 @@ class ConcurrentHashTable:
         """
         if k < 1 or 2 * k > 64:
             raise ValueError("need 1 <= k and 2k <= 64 for one-word keys")
+        _check_protocol(protocol, k)
         capacity = int(state.size)
         if capacity < 2 or capacity & (capacity - 1):
             raise ValueError("state size must be a power of two >= 2")
@@ -247,7 +285,7 @@ class ConcurrentHashTable:
             int((state == OCCUPIED).sum()) if n_occupied is None
             else int(n_occupied)
         )
-        table._init_runtime()
+        table._init_runtime(protocol)
         return table
 
     def detach_views(self) -> None:
@@ -273,7 +311,8 @@ class ConcurrentHashTable:
 
     def insert_batch(self, kmers: np.ndarray, slots: np.ndarray,
                      counts: np.ndarray | None = None,
-                     chunk: int = 1 << 20) -> None:
+                     chunk: int = 1 << 20,
+                     on_full: str = "raise") -> np.ndarray | None:
         """Apply ``(kmer, counter-slot)`` observations, vectorized.
 
         Each observation increments ``counts[entry(kmer), slot]``,
@@ -296,7 +335,17 @@ class ConcurrentHashTable:
 
         Single-threaded only: this path writes the numpy mirror
         directly and must never overlap :meth:`insert_threaded`.
+
+        ``on_full="raise"`` (default) raises :class:`TableFullError`
+        when probing wraps a full table.  ``on_full="return"`` instead
+        returns the indices (into ``kmers``) of the observations that
+        could not be applied, with their upfront op/increment metering
+        rolled back — the sharded layout's neighbor-fallback path, which
+        re-tries them on the next shard.  Probes and CAS failures paid
+        before the wrap stay metered: they really happened.
         """
+        if on_full not in ("raise", "return"):
+            raise ValueError(f"on_full must be 'raise' or 'return', got {on_full!r}")
         kmers = np.ascontiguousarray(kmers, dtype=np.uint64).ravel()
         slots = np.ascontiguousarray(slots, dtype=np.int64).ravel()
         if kmers.shape != slots.shape:
@@ -307,18 +356,27 @@ class ConcurrentHashTable:
                 raise ValueError("counts must parallel kmers and slots")
             if counts.size and int(counts.min()) < 1:
                 raise ValueError("every aggregated count must be >= 1")
+        leftovers: list[np.ndarray] = []
         for lo in range(0, kmers.size, chunk):
-            self._insert_chunk(
+            left = self._insert_chunk(
                 kmers[lo : lo + chunk], slots[lo : lo + chunk],
                 None if counts is None else counts[lo : lo + chunk],
+                on_full=on_full,
             )
+            if left is not None and left.size:
+                leftovers.append(left + lo)
         if self._atomic_state is not None:
             # Keep the authoritative threaded-mode flags in sync when a
             # quiescent table mixes batch and threaded insertions.
-            self._atomic_state.raw()[:] = self.state  # checks: allow[R3] single-threaded resync
+            self._resync_atomic()
+        if on_full == "return":
+            return (np.concatenate(leftovers) if leftovers
+                    else np.empty(0, dtype=np.int64))
+        return None
 
     def _insert_chunk(self, kmers: np.ndarray, slots: np.ndarray,
-                      weights: np.ndarray | None = None) -> None:
+                      weights: np.ndarray | None = None,
+                      on_full: str = "raise") -> np.ndarray | None:
         stats = self.stats
         n = kmers.size
         n_ops = n if weights is None else int(weights.sum())
@@ -331,6 +389,15 @@ class ConcurrentHashTable:
         while pending.size:
             rounds += 1
             if rounds > self.capacity + 2:
+                if on_full == "return":
+                    # Roll back the upfront metering for the unplaced
+                    # observations so the caller's retry on a neighbor
+                    # shard re-meters them exactly once.
+                    n_left = (pending.size if weights is None
+                              else int(weights[pending].sum()))
+                    stats.ops -= n_left
+                    stats.count_increments -= n_left
+                    return pending.copy()
                 raise TableFullError(
                     f"probe wrapped a table of capacity {self.capacity} "
                     f"(occupied {self.n_occupied})"
@@ -380,7 +447,10 @@ class ConcurrentHashTable:
                         lost += int(weights[pending[losers]].sum())
                 self.n_occupied += wpos.size
                 stats.inserts += wpos.size
-                stats.key_locks += wpos.size
+                if self.protocol == "locked":
+                    # Lock-free publishes with the claim CAS itself: no
+                    # key critical section is ever taken.
+                    stats.key_locks += wpos.size
                 stats.cas_failures += lost
             # Advance mismatches; retry CAS losers at the same offset
             # (they will match or mismatch the freshly written key).
@@ -407,7 +477,12 @@ class ConcurrentHashTable:
             if self._atomic_state is not None:
                 return
             atomic = AtomicInt64Array(self.capacity, n_stripes=256)
-            atomic.raw()[:] = self.state.astype(np.int64)  # checks: allow[R3] pre-publication init under _init_lock
+            raw = atomic.raw()  # checks: allow[R3] pre-publication init under _init_lock
+            if self.protocol == "lockfree":
+                occ = self.state == OCCUPIED
+                raw[occ] = (self.keys[occ] + np.uint64(1)).astype(np.int64)
+            else:
+                raw[:] = self.state.astype(np.int64)
             self._count_locks = [
                 TracedLock(f"count_lock[{i}]") for i in range(256)
             ]
@@ -454,6 +529,9 @@ class ConcurrentHashTable:
             self.stats = self.stats.merged_with(scratch)
 
     def _insert_one(self, kmer: int, slot: int, stats: HashStats) -> None:
+        if self.protocol == "lockfree":
+            self._insert_one_lockfree(kmer, slot, stats)
+            return
         atomic = self._atomic_state
         assert atomic is not None and self._count_locks is not None
         stats.ops += 1
@@ -463,6 +541,11 @@ class ConcurrentHashTable:
         spins = 0
         while True:
             if offset >= self.capacity:
+                # Un-meter the op before raising: a sharded wrapper
+                # catches this and re-runs the op on a neighbor shard,
+                # which meters it again.
+                stats.ops -= 1
+                stats.count_increments -= 1
                 raise TableFullError(
                     f"probe wrapped a table of capacity {self.capacity}"
                 )
@@ -523,6 +606,60 @@ class ConcurrentHashTable:
             offset += 1
             stats.probes += 1
 
+    def _insert_one_lockfree(self, kmer: int, slot: int,
+                             stats: HashStats) -> None:
+        """The CAS-publish protocol: claim == publication, no LOCKED state.
+
+        The atomic word holds the *biased key* (``kmer + 1``) instead of
+        an occupancy flag: a single ``CAS(0 -> kmer + 1)`` both claims
+        the slot and publishes the key's identity, so there is no window
+        in which a reader must wait — a mismatching tag means "probe
+        on", immediately.  The numpy ``keys`` plane is written by the
+        claim winner afterwards purely for the quiescent query paths
+        (``to_graph``); live readers only ever compare the tag.  Edge
+        counters stay atomic fetch-adds, exactly as under ``locked``.
+
+        Consequently ``key_locks`` and ``blocked_reads`` stay zero: the
+        protocol never takes a key critical section and never spins.
+        """
+        atomic = self._atomic_state
+        assert atomic is not None and self._count_locks is not None
+        stats.ops += 1
+        stats.count_increments += 1
+        tag = kmer + 1  # biased key: 0 remains the empty sentinel
+        h = mix64_int(kmer) & (self.capacity - 1)
+        offset = 0
+        while True:
+            if offset >= self.capacity:
+                stats.ops -= 1
+                stats.count_increments -= 1
+                raise TableFullError(
+                    f"probe wrapped a table of capacity {self.capacity}"
+                )
+            pos = (h + offset) & (self.capacity - 1)
+            st = atomic.load(pos)
+            if st == EMPTY:
+                if atomic.compare_and_swap(pos, EMPTY, tag):
+                    stats.inserts += 1
+                    # The slot is already published; this write backfills
+                    # the quiescent-mode mirror and is unraced (exactly
+                    # one claim winner per slot, readers compare tags).
+                    _trace("keys", id(self), pos, "write")
+                    self.keys[pos] = np.uint64(kmer)
+                    self._add_count(pos, slot)
+                    with self._occupied_lock:
+                        _trace("n_occupied", id(self), 0, "write")
+                        self.n_occupied += 1
+                    return
+                stats.cas_failures += 1
+                continue  # retry the same slot against the new tag
+            if st == tag:
+                stats.updates += 1
+                self._add_count(pos, slot)
+                return
+            offset += 1
+            stats.probes += 1
+
     def _add_count(self, pos: int, slot: int) -> None:
         assert self._count_locks is not None
         with self._count_locks[pos % len(self._count_locks)]:
@@ -570,7 +707,29 @@ class ConcurrentHashTable:
     def _sync_mirror(self) -> None:
         """Re-sync the single-threaded numpy mirror after a fork-join."""
         if self._atomic_state is not None:
-            self.state[:] = self._atomic_state.snapshot().astype(self.state.dtype)
+            snap = self._atomic_state.snapshot()
+            if self.protocol == "lockfree":
+                # The atomic plane holds biased keys; any non-zero word
+                # is a published entry.
+                snap = np.where(snap != 0, OCCUPIED, EMPTY)
+            self.state[:] = snap.astype(self.state.dtype)
+
+    def _resync_atomic(self) -> None:
+        """Rebuild the authoritative atomic plane from the numpy mirror.
+
+        Only legal on a quiescent table: the batch path calls it after
+        mixing vectorized and threaded insertions.  The atomic word's
+        encoding is protocol-dependent — occupancy flags under
+        ``locked``, biased keys (0 = empty) under ``lockfree``.
+        """
+        assert self._atomic_state is not None
+        raw = self._atomic_state.raw()  # checks: allow[R3] single-threaded resync
+        if self.protocol == "lockfree":
+            occ = self.state == OCCUPIED
+            raw[:] = 0
+            raw[occ] = (self.keys[occ] + np.uint64(1)).astype(np.int64)
+        else:
+            raw[:] = self.state
 
     # -- queries ------------------------------------------------------------------
 
@@ -578,7 +737,11 @@ class ConcurrentHashTable:
         """One occupancy flag, via the atomic array while threads may run."""
         atomic = self._atomic_state
         if atomic is not None and "numpy_publish" not in _SEEDED_BUGS:
-            return atomic.load(pos)
+            raw = atomic.load(pos)
+            if self.protocol == "lockfree":
+                # The word is a biased key; occupancy is its non-zeroness.
+                return OCCUPIED if raw != EMPTY else EMPTY
+            return raw
         _trace("state", id(self), pos, "read")
         return int(self.state[pos])  # checks: allow[R1] single-threaded or seeded-bug mirror read (atomic path taken while threads run)
 
@@ -590,7 +753,10 @@ class ConcurrentHashTable:
         atomic snapshot whenever the threaded machinery exists.
         """
         if self._atomic_state is not None:
-            return self._atomic_state.snapshot().astype(np.int8)
+            snap = self._atomic_state.snapshot()
+            if self.protocol == "lockfree":
+                snap = np.where(snap != 0, OCCUPIED, EMPTY)
+            return snap.astype(np.int8)
         return self.state
 
     def lookup(self, kmer: int) -> np.ndarray | None:
@@ -600,13 +766,26 @@ class ConcurrentHashTable:
         occupancy flags are read through the atomic array (never the
         numpy mirror) while the threaded machinery exists.
         """
-        h = mix64_int(int(kmer)) & (self.capacity - 1)
+        kmer = int(kmer)
+        atomic = self._atomic_state
+        lockfree_live = self.protocol == "lockfree" and atomic is not None
+        h = mix64_int(kmer) & (self.capacity - 1)
         for offset in range(self.capacity):
             pos = (h + offset) & (self.capacity - 1)
+            if lockfree_live:
+                # The atomic word *is* the biased key: one load both
+                # tests occupancy and compares identity — lock-free
+                # readers never wait and never touch the keys plane.
+                tag = atomic.load(pos)
+                if tag == EMPTY:
+                    return None
+                if tag == kmer + 1:
+                    return self.counts[pos].copy()  # checks: allow[R1] racy snapshot of monotonic counters
+                continue
             st = self._load_state(pos)
             if st == EMPTY:
                 return None
-            if st == OCCUPIED and int(self.keys[pos]) == int(kmer):  # checks: allow[R1] immutable after OCCUPIED publication
+            if st == OCCUPIED and int(self.keys[pos]) == kmer:  # checks: allow[R1] immutable after OCCUPIED publication
                 return self.counts[pos].copy()  # checks: allow[R1] racy snapshot of monotonic counters
         return None
 

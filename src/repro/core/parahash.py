@@ -134,7 +134,10 @@ class ParaHash:
 
         def process(block: SuperkmerBlock) -> SubgraphResult:
             return build_subgraph(block, policy=cfg.sizing, n_threads=1,
-                                  preaggregate=cfg.preaggregate)
+                                  preaggregate=cfg.preaggregate,
+                                  protocol=cfg.insert_protocol,
+                                  table_layout=cfg.table_layout,
+                                  n_shards=cfg.n_shards)
 
         if cfg.n_threads == 1 or len(nonempty) <= 1:
             return [process(b) for b in nonempty], {}
@@ -277,7 +280,10 @@ class ParaHash:
 
         def process(block: SuperkmerBlock):
             return build_subgraph_2w(block, policy=cfg.sizing,
-                                     preaggregate=cfg.preaggregate)
+                                     preaggregate=cfg.preaggregate,
+                                     protocol=cfg.insert_protocol,
+                                     table_layout=cfg.table_layout,
+                                     n_shards=cfg.n_shards)
 
         records: dict[str, WorkerRecord] = {}
         if cfg.n_threads > 1 and len(nonempty) > 1:

@@ -99,6 +99,9 @@ class _Step2Job:
     k: int
     table_spec: SegmentSpec
     group: tuple[str, ...]
+    layout: str = "flat"
+    protocol: str = "locked"
+    n_shards: int = 1
 
 
 # -- worker entry points (top-level: picklable under spawn) ----------------------
@@ -172,7 +175,8 @@ def _process_step2_job(job: _Step2Job, sizing, preaggregate: bool) -> dict:
     payload: dict = {"partition": job.partition,
                      "n_kmers": block.total_kmers()}
     seg = attach_segment(job.table_spec)
-    table = table_over_segment(seg, job.k, fresh=True)
+    table = table_over_segment(seg, job.k, fresh=True, layout=job.layout,
+                               n_shards=job.n_shards, protocol=job.protocol)
     try:
         vertex_ids, slots = block_observations(block)
         counts = None
@@ -188,7 +192,10 @@ def _process_step2_job(job: _Step2Job, sizing, preaggregate: bool) -> dict:
         # Property-1 estimate breached: regrow locally and ship
         # the (rare) oversized result through the queue instead.
         result = build_subgraph(block, policy=sizing, n_threads=1,
-                                preaggregate=preaggregate)
+                                preaggregate=preaggregate,
+                                protocol=job.protocol,
+                                table_layout=job.layout,
+                                n_shards=max(1, job.n_shards))
         payload["stats"] = result.stats
         payload["fallback"] = result.graph
     finally:
@@ -216,7 +223,8 @@ def _process_step2_job_2w(job: _Step2Job, sizing, preaggregate: bool) -> dict:
     payload: dict = {"partition": job.partition,
                      "n_kmers": block.total_kmers()}
     seg = attach_segment(job.table_spec)
-    table = table_over_segment(seg, job.k, fresh=True)
+    table = table_over_segment(seg, job.k, fresh=True, layout=job.layout,
+                               n_shards=job.n_shards, protocol=job.protocol)
     try:
         hi, lo, slots = block_observations_2w(block)
         counts = None
@@ -230,7 +238,10 @@ def _process_step2_job_2w(job: _Step2Job, sizing, preaggregate: bool) -> dict:
         payload["fallback"] = None
     except TableFullError:
         result = build_subgraph_2w(block, policy=sizing,
-                                   preaggregate=preaggregate)
+                                   preaggregate=preaggregate,
+                                   protocol=job.protocol,
+                                   table_layout=job.layout,
+                                   n_shards=max(1, job.n_shards))
         payload["stats"] = result.stats
         payload["fallback"] = result.graph
     finally:
@@ -281,6 +292,18 @@ def _pipeline_worker(worker_id: int, batch_spec: SegmentSpec,
         for job in jobs:
             out.append(_process_step2_job(job, sizing, preaggregate))
     return {"step2": out}
+
+
+def _table_axes(cfg) -> tuple[str, str, int]:
+    """The config's (layout, protocol, n_shards) with flat-layout folding.
+
+    The flat layout ignores ``n_shards``; folding it to 1 here keeps
+    the job orders canonical and the segment layout untouched.
+    """
+    layout = getattr(cfg, "table_layout", "flat")
+    protocol = getattr(cfg, "insert_protocol", "locked")
+    n_shards = getattr(cfg, "n_shards", 1) if layout == "sharded" else 1
+    return layout, protocol, n_shards
 
 
 def _merge_partition_subgraphs(subgraphs, k: int):
@@ -386,11 +409,13 @@ class _PipelineMerger:
                 capacity = next_power_of_two(max(2, cfg.sizing.capacity_for(
                     max(1, int(self.kmers_per_partition[part]))
                 )))
-                seg = create_table_segment(capacity, cfg.k)  # checks: allow[R6] ownership moves to self.segments; unlink_segments() runs in the pipeline teardown
+                layout, protocol, n_shards = _table_axes(cfg)
+                seg = create_table_segment(capacity, cfg.k, n_shards=n_shards)  # checks: allow[R6] ownership moves to self.segments; unlink_segments() runs in the pipeline teardown
                 self.segments[part] = seg
                 self.ready.publish(_Step2Job(
                     partition=part, k=cfg.k, table_spec=seg.spec,
                     group=tuple(str(p) for p in sources),
+                    layout=layout, protocol=protocol, n_shards=n_shards,
                 ))
             if self.workdir is not None:
                 # Serial disk-backed runs leave one canonical file per
@@ -571,15 +596,17 @@ def build_graph_processes(
         stats = HashStats()
         try:
             jobs: list[_Step2Job] = []
+            layout, protocol, n_shards = _table_axes(cfg)
             for part in live:
                 capacity = next_power_of_two(max(2, cfg.sizing.capacity_for(
                     max(1, int(kmers_per_partition[part]))
                 )))
-                seg = create_table_segment(capacity, cfg.k)
+                seg = create_table_segment(capacity, cfg.k, n_shards=n_shards)
                 segments[part] = seg
                 jobs.append(_Step2Job(
                     partition=part, k=cfg.k, table_spec=seg.spec,
                     group=tuple(str(p) for p in groups[part]),
+                    layout=layout, protocol=protocol, n_shards=n_shards,
                 ))
             if jobs:
                 step2_workers = max(1, min(n_workers, len(jobs)))
@@ -600,7 +627,9 @@ def build_graph_processes(
                     subgraphs.append(payload["fallback"])
                     continue
                 seg = segments[part]
-                table = table_over_segment(seg, cfg.k, fresh=False)
+                table = table_over_segment(seg, cfg.k, fresh=False,
+                                           layout=layout, n_shards=n_shards,
+                                           protocol=protocol)
                 table.n_occupied = int(seg["header"][HEADER_N_OCCUPIED])
                 subgraphs.append(table.to_graph())
                 table.detach_views()
@@ -693,7 +722,10 @@ def _build_pipelined(
                 subgraphs.append(payload["fallback"])
                 continue
             seg = merger.segments[part]
-            table = table_over_segment(seg, cfg.k, fresh=False)
+            layout, protocol, n_shards = _table_axes(cfg)
+            table = table_over_segment(seg, cfg.k, fresh=False,
+                                       layout=layout, n_shards=n_shards,
+                                       protocol=protocol)
             table.n_occupied = int(seg["header"][HEADER_N_OCCUPIED])
             subgraphs.append(table.to_graph())
             table.detach_views()
@@ -750,6 +782,59 @@ def _worker_records(step1_reports: list[dict],
 # -- cross-process CAS validation path -------------------------------------------
 
 
+def _final_capacity(capacity: int, k: int, layout: str,
+                    n_shards: int) -> int:
+    """The exact slot count the table segment will carry."""
+    if layout == "sharded":
+        from .sharded import shard_capacity
+
+        return shard_capacity(capacity, n_shards) * n_shards
+    return next_power_of_two(max(2, capacity))
+
+
+def _publish_final_state(table_seg, flags_seg) -> None:
+    """Fold the quiescent flags plane into the table's int8 state mirror.
+
+    Protocol-agnostic: under ``locked`` the flags hold state values and
+    every LOCKED resolved to OCCUPIED before the workers joined; under
+    ``lockfree`` they hold key/fingerprint tags.  Either way a non-zero
+    word is exactly a published entry.
+    """
+    from ..core.hashtable import OCCUPIED
+
+    flags = flags_seg["flags"]
+    table_seg["state"][:] = ((flags != 0) * OCCUPIED).astype(np.int8)
+
+
+def _shard_lock_bundles(ctx, layout: str, n_shards: int,
+                        n_stripes: int) -> tuple[list, list]:
+    """State/count lock bundles: one pair per shard (one total for flat).
+
+    The sharded layout's private lock regions are what cuts stripe
+    contention: ``n_stripes`` is the *total* stripe budget, split so
+    each shard carries its own private slice — two workers in different
+    shards can never collide on a lock, and the OS lock count (and the
+    spawn-pickling cost) stays the same as the flat layout's.
+    """
+    if layout == "sharded":
+        per_shard = max(4, n_stripes // n_shards)
+        state = [create_lock_bundle(ctx, per_shard) for _ in range(n_shards)]
+        count = [create_lock_bundle(ctx, per_shard) for _ in range(n_shards)]
+        return state, count
+    return ([create_lock_bundle(ctx, n_stripes)],
+            [create_lock_bundle(ctx, n_stripes)])
+
+
+def _install_shared_atomics(table, flags: np.ndarray, layout: str,
+                            state_bundles: list, count_bundles: list) -> None:
+    """Arm a worker-side table with the cross-process atomic plane."""
+    if layout == "sharded":
+        table.install_process_atomics(flags, state_bundles, count_bundles)
+    else:
+        table._atomic_state = ProcessAtomicInt64Array(flags, state_bundles[0])
+        table._count_locks = list(count_bundles[0])
+
+
 def concurrent_insert_processes(
     kmers: np.ndarray,
     slots: np.ndarray,
@@ -757,12 +842,19 @@ def concurrent_insert_processes(
     capacity: int,
     n_workers: int,
     n_stripes: int = 64,
+    layout: str = "flat",
+    protocol: str = "locked",
+    n_shards: int = 8,
 ) -> tuple[DeBruijnGraph, list[HashStats]]:
     """Insert observations into ONE table from several processes.
 
-    This is the state-transfer protocol on genuinely concurrent memory:
-    every worker runs CAS EMPTY→LOCKED / write-key / publish-OCCUPIED
-    against the same shared-memory occupancy plane.  Returns the
+    This is the insert protocol on genuinely concurrent memory: every
+    worker runs the per-operation state machine — CAS EMPTY→LOCKED /
+    write-key / publish-OCCUPIED under ``protocol="locked"``, or the
+    single CAS-publish under ``protocol="lockfree"`` — against the same
+    shared-memory occupancy plane.  ``layout="sharded"`` slices that
+    plane into ``n_shards`` shard regions with *private* lock bundles,
+    so workers mostly contend only within their own shard.  Returns the
     resulting subgraph and the per-worker stats.  Used by the
     equivalence tests (the outcome must match a serial
     ``insert_batch``); the production pipeline instead gives each
@@ -774,50 +866,62 @@ def concurrent_insert_processes(
         raise ValueError("kmers and slots must be parallel arrays")
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
+    if layout != "sharded":
+        n_shards = 1
     ctx = default_context()
-    cap = next_power_of_two(max(2, capacity))
+    cap = _final_capacity(capacity, k, layout, n_shards)
     # Each `with` owns its segment from the moment of creation: if the
     # flags segment or a lock bundle fails to build, the table segment
     # is already inside its context and still unlinks (no shm leak on
     # partially-constructed runs).
-    with create_table_segment(cap, k) as table_seg, \
+    with create_table_segment(cap, k, n_shards=n_shards) as table_seg, \
             create_segment([("flags", (cap,), "int64")]) as flags_seg:
-        state_locks = create_lock_bundle(ctx, n_stripes)
-        count_locks = create_lock_bundle(ctx, n_stripes)
+        state_bundles, count_bundles = _shard_lock_bundles(
+            ctx, layout, n_shards, n_stripes
+        )
         bounds = np.linspace(0, kmers.size, n_workers + 1).astype(int).tolist()
         stats = run_workers(
             _cas_worker, n_workers, ctx=ctx,
-            args=(table_seg.spec, flags_seg.spec, state_locks, count_locks,
-                  kmers, slots, bounds, k),
+            args=(table_seg.spec, flags_seg.spec, state_bundles,
+                  count_bundles, kmers, slots, bounds, k, layout, protocol,
+                  n_shards),
         )
         # Publish the final flags into the table's int8 mirror, then
         # read the graph straight out of shared memory.
-        table_seg["state"][:] = flags_seg["flags"].astype(np.int8)
-        table = table_over_segment(table_seg, k, fresh=False)
+        _publish_final_state(table_seg, flags_seg)
+        table = table_over_segment(table_seg, k, fresh=False, layout=layout,
+                                   n_shards=n_shards, protocol=protocol)
         graph = table.to_graph()
         table.detach_views()
         return graph, stats
 
 
 def _cas_worker(worker_id: int, table_spec: SegmentSpec,
-                flags_spec: SegmentSpec, state_locks, count_locks,
+                flags_spec: SegmentSpec, state_bundles, count_bundles,
                 kmers: np.ndarray, slots: np.ndarray,
-                bounds: list[int], k: int) -> HashStats:
+                bounds: list[int], k: int, layout: str, protocol: str,
+                n_shards: int) -> HashStats:
     """One process of the cross-process state-machine run."""
     seg = attach_segment(table_spec)
     flags_seg = attach_segment(flags_spec)
-    table = table_over_segment(seg, k, fresh=True)
+    table = table_over_segment(seg, k, fresh=True, layout=layout,
+                               n_shards=n_shards, protocol=protocol)
     # Swap the thread-path machinery for its cross-process twins: the
     # occupancy flags live in the shared int64 plane and every stripe
     # lock is a multiprocessing lock, so the CAS window and the counter
     # updates are mutually exclusive across processes.
-    table._atomic_state = ProcessAtomicInt64Array(flags_seg["flags"],
-                                                  state_locks)
-    table._count_locks = list(count_locks)
+    _install_shared_atomics(table, flags_seg["flags"], layout,
+                            state_bundles, count_bundles)
     local = HashStats()
+    b0, b1 = bounds[worker_id], bounds[worker_id + 1]
     try:
-        for i in range(bounds[worker_id], bounds[worker_id + 1]):
-            table.insert_one_threadsafe(int(kmers[i]), int(slots[i]), local)
+        if layout == "sharded":
+            # Routing is one vectorized hash pass over the span.
+            table.insert_ops_threadsafe(kmers[b0:b1], slots[b0:b1], local)
+        else:
+            for i in range(b0, b1):
+                table.insert_one_threadsafe(int(kmers[i]), int(slots[i]),
+                                            local)
     finally:
         table.detach_views()
         seg.close()
@@ -833,13 +937,19 @@ def concurrent_insert_processes_2w(
     capacity: int,
     n_workers: int,
     n_stripes: int = 64,
+    layout: str = "flat",
+    protocol: str = "locked",
+    n_shards: int = 8,
 ):
     """Two-word twin of :func:`concurrent_insert_processes` (k > 31).
 
     Several processes CAS the same occupancy plane and publish BOTH key
-    words (``keys_hi`` then ``keys_lo``) inside the LOCKED window —
-    the multi-word case the state-transfer protocol exists for (paper
-    §III, multi-word ablation).  Returns the resulting
+    words (``keys_hi`` then ``keys_lo``) — inside the LOCKED window
+    under ``protocol="locked"`` (the multi-word case the state-transfer
+    protocol exists for; paper §III, multi-word ablation), or between
+    the claim CAS and the publication-bit store under
+    ``protocol="lockfree"``.  ``layout="sharded"`` gives each shard a
+    private flags region and lock bundles.  Returns the resulting
     :class:`~repro.bigk.store.BigDeBruijnGraph` and per-worker stats.
     """
     hi = np.ascontiguousarray(hi, dtype=np.uint64).ravel()
@@ -851,46 +961,57 @@ def concurrent_insert_processes_2w(
         raise ValueError("n_workers must be >= 1")
     if k <= 31:
         raise ValueError("use concurrent_insert_processes for k <= 31")
+    if layout != "sharded":
+        n_shards = 1
     ctx = default_context()
-    cap = next_power_of_two(max(2, capacity))
+    cap = _final_capacity(capacity, k, layout, n_shards)
     # Same ownership discipline as the one-word path: each `with` owns
     # its segment from creation, so a failed lock-bundle build still
     # unlinks everything (no shm leak on partially-constructed runs).
-    with create_table_segment(cap, k) as table_seg, \
+    with create_table_segment(cap, k, n_shards=n_shards) as table_seg, \
             create_segment([("flags", (cap,), "int64")]) as flags_seg:
-        state_locks = create_lock_bundle(ctx, n_stripes)
-        count_locks = create_lock_bundle(ctx, n_stripes)
+        state_bundles, count_bundles = _shard_lock_bundles(
+            ctx, layout, n_shards, n_stripes
+        )
         bounds = np.linspace(0, hi.size, n_workers + 1).astype(int).tolist()
         stats = run_workers(
             _cas_worker_2w, n_workers, ctx=ctx,
-            args=(table_seg.spec, flags_seg.spec, state_locks, count_locks,
-                  hi, lo, slots, bounds, k),
+            args=(table_seg.spec, flags_seg.spec, state_bundles,
+                  count_bundles, hi, lo, slots, bounds, k, layout, protocol,
+                  n_shards),
         )
-        table_seg["state"][:] = flags_seg["flags"].astype(np.int8)
-        table = table_over_segment(table_seg, k, fresh=False)
+        _publish_final_state(table_seg, flags_seg)
+        table = table_over_segment(table_seg, k, fresh=False, layout=layout,
+                                   n_shards=n_shards, protocol=protocol)
         graph = table.to_graph()
         table.detach_views()
         return graph, stats
 
 
 def _cas_worker_2w(worker_id: int, table_spec: SegmentSpec,
-                   flags_spec: SegmentSpec, state_locks, count_locks,
+                   flags_spec: SegmentSpec, state_bundles, count_bundles,
                    hi: np.ndarray, lo: np.ndarray, slots: np.ndarray,
-                   bounds: list[int], k: int) -> HashStats:
+                   bounds: list[int], k: int, layout: str, protocol: str,
+                   n_shards: int) -> HashStats:
     """One process of the two-word cross-process state-machine run."""
     from ..bigk.kmer2w import join_planes
 
     seg = attach_segment(table_spec)
     flags_seg = attach_segment(flags_spec)
-    table = table_over_segment(seg, k, fresh=True)
-    table._atomic_state = ProcessAtomicInt64Array(flags_seg["flags"],
-                                                  state_locks)
-    table._count_locks = list(count_locks)
+    table = table_over_segment(seg, k, fresh=True, layout=layout,
+                               n_shards=n_shards, protocol=protocol)
+    _install_shared_atomics(table, flags_seg["flags"], layout,
+                            state_bundles, count_bundles)
     local = HashStats()
+    b0, b1 = bounds[worker_id], bounds[worker_id + 1]
     try:
-        for i in range(bounds[worker_id], bounds[worker_id + 1]):
-            kmer = join_planes(hi[i], lo[i])
-            table.insert_one_threadsafe(kmer, int(slots[i]), local)
+        if layout == "sharded":
+            table.insert_ops_threadsafe(hi[b0:b1], lo[b0:b1],
+                                        slots[b0:b1], local)
+        else:
+            for i in range(b0, b1):
+                kmer = join_planes(hi[i], lo[i])
+                table.insert_one_threadsafe(kmer, int(slots[i]), local)
     finally:
         table.detach_views()
         seg.close()

@@ -69,6 +69,9 @@ class JobSpec:
     step2_delay: float = 0.0
     lam: float = 2.0
     alpha: float = 0.7
+    table_layout: str = "flat"
+    insert_protocol: str = "locked"
+    n_shards: int = 8
 
     def __post_init__(self) -> None:
         if not 1 <= self.k <= MAX_K_2W:
@@ -85,6 +88,22 @@ class JobSpec:
             raise JobError("step2_delay must be >= 0")
         if self.max_memory < 0:
             raise JobError("max_memory must be >= 0")
+        from ..core.config import INSERT_PROTOCOLS, TABLE_LAYOUTS
+
+        if self.table_layout not in TABLE_LAYOUTS:
+            raise JobError(
+                f"table_layout must be one of {TABLE_LAYOUTS}, "
+                f"got {self.table_layout!r}"
+            )
+        if self.insert_protocol not in INSERT_PROTOCOLS:
+            raise JobError(
+                f"insert_protocol must be one of {INSERT_PROTOCOLS}, "
+                f"got {self.insert_protocol!r}"
+            )
+        if self.n_shards < 1 or self.n_shards & (self.n_shards - 1):
+            raise JobError(
+                f"n_shards must be a positive power of two, got {self.n_shards}"
+            )
 
     @property
     def big_k(self) -> bool:

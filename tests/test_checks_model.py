@@ -15,6 +15,7 @@ from repro.checks.model import (
     steps_of,
 )
 from repro.checks.protocols import (
+    CAS_PUBLISH_VARIANTS,
     CORPUS,
     INSERT_VARIANTS,
     QUEUE_VARIANTS,
@@ -131,16 +132,20 @@ class TestFixedProtocols:
             build_model("workqueue", consumers=2, items=3, crash=False))
         assert res.ok and not res.truncated, res.summary()
 
+    def test_cas_publish_verifies_at_ci_bound(self):
+        res = check_model(build_model("cas_publish", writers=3))
+        assert res.ok and not res.truncated, res.summary()
+
     def test_unknown_protocol_rejected(self):
         with pytest.raises(ValueError, match="unknown protocol"):
             build_model("mutex")
 
 
 class TestSeededCorpus:
-    def test_corpus_covers_both_protocols(self):
-        assert set(INSERT_VARIANTS) | set(QUEUE_VARIANTS) == {
-            v for _, v in CORPUS}
-        assert len(CORPUS) == 7
+    def test_corpus_covers_all_protocols(self):
+        assert (set(INSERT_VARIANTS) | set(QUEUE_VARIANTS)
+                | set(CAS_PUBLISH_VARIANTS)) == {v for _, v in CORPUS}
+        assert len(CORPUS) == 8
 
     @pytest.mark.parametrize("protocol,variant", CORPUS)
     def test_every_variant_is_refuted(self, protocol, variant):
